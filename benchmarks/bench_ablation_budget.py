@@ -1,0 +1,44 @@
+"""Ablation: attack budget sweep over N (attackers) and T (clicks each).
+
+The paper fixes N=20, T=20; this sweep varies the total click budget and
+reports the best RecNum PoisonRec reaches, quantifying how attack power
+scales with budget.  Expected shape: RecNum grows monotonically (within
+noise) with the total budget N*T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from common import emit, once
+from repro.core import PoisonRec
+from repro.experiments import (build_environment, format_table,
+                               resolve_scale)
+
+SWEEP = ((5, 10), (10, 20), (20, 20), (20, 40))
+
+
+def run_sweep(scale, seed=0):
+    results = []
+    for num_attackers, trajectory_length in SWEEP:
+        sized = replace(scale, num_attackers=num_attackers,
+                        trajectory_length=trajectory_length)
+        _, _, env = build_environment("steam", "itempop", sized, seed=seed)
+        agent = PoisonRec(env, sized.config(seed=seed),
+                          action_space="bcbt-popular")
+        result = agent.train(sized.rl_steps)
+        results.append((num_attackers, trajectory_length,
+                        num_attackers * trajectory_length,
+                        int(result.best_reward)))
+    return results
+
+
+def test_ablation_budget_sweep(benchmark):
+    scale = resolve_scale()
+    results = once(benchmark, lambda: run_sweep(scale))
+    emit(f"ablation_budget_{scale.name}",
+         format_table(["N", "T", "total_clicks", "best_recnum"],
+                      [list(row) for row in results]))
+
+    # Shape check: the largest budget beats the smallest.
+    assert results[-1][3] >= results[0][3]

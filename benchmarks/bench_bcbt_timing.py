@@ -1,0 +1,79 @@
+"""Section IV-B timing: BCBT vs Plain sampling cost as |I| grows.
+
+The paper reports per-training-step times of 1.41s (BCBT) vs 1.93s
+(Plain) at |I|=3,000 and 2.33s vs 15.69s at |I|=30,000 — BCBT scales
+logarithmically while Plain is linear in the item count.  This bench
+times trajectory sampling for both designs over growing catalogs and
+asserts the same crossover shape: Plain's cost grows much faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import emit
+from repro.core import PolicyNetwork, make_action_space
+from repro.experiments import format_table, resolve_scale
+
+ITEM_COUNTS_BY_SCALE = {
+    "ci": (1000, 3000, 10000),
+    "small": (3000, 10000, 30000),
+    "paper": (3000, 10000, 30000),
+}
+
+
+def build_policy(kind, num_items, dim=16, seed=0):
+    num_original = num_items - 8
+    targets = np.arange(num_original, num_items)
+    popularity = np.concatenate(
+        [np.arange(num_original, 0, -1.0), np.zeros(8)])
+    space = make_action_space(kind, num_original, targets, popularity,
+                              seed=seed)
+    return PolicyNetwork(space, num_attackers=20, dim=dim, seed=seed)
+
+
+def time_sampling(policy, trajectory_length=20, repeats=3):
+    rng = np.random.default_rng(0)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        policy.sample_rollout(trajectory_length, rng)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bcbt_vs_plain_sampling_time(benchmark):
+    scale = resolve_scale()
+    item_counts = ITEM_COUNTS_BY_SCALE[scale.name]
+
+    rows = []
+    timings = {}
+    for num_items in item_counts:
+        plain = build_policy("plain", num_items)
+        tree = build_policy("bcbt-popular", num_items)
+        t_plain = time_sampling(plain)
+        t_tree = time_sampling(tree)
+        timings[num_items] = (t_plain, t_tree)
+        rows.append([num_items, f"{t_plain*1e3:.1f}", f"{t_tree*1e3:.1f}",
+                     f"{t_plain/t_tree:.2f}x"])
+
+    # Time the BCBT kernel itself under pytest-benchmark statistics.
+    kernel_policy = build_policy("bcbt-popular", item_counts[-1])
+    kernel_rng = np.random.default_rng(1)
+    benchmark(lambda: kernel_policy.sample_rollout(20, kernel_rng))
+
+    emit(f"bcbt_timing_{scale.name}",
+         format_table(["num_items", "plain_ms", "bcbt_ms", "speedup"],
+                      rows))
+
+    # Shape check (paper: >6x at 30k items): Plain's cost must grow
+    # strictly faster with |I| than BCBT's.
+    small, large = item_counts[0], item_counts[-1]
+    plain_growth = timings[large][0] / timings[small][0]
+    tree_growth = timings[large][1] / timings[small][1]
+    assert plain_growth > tree_growth, (
+        f"Plain grew {plain_growth:.2f}x vs BCBT {tree_growth:.2f}x")
+    assert timings[large][0] > timings[large][1], (
+        "BCBT must be faster than Plain on the largest catalog")

@@ -1,0 +1,60 @@
+"""Figure 4: PoisonRec training curves under the four action-space designs.
+
+For each recommendation algorithm on Steam, trains PoisonRec with Plain,
+BPlain, BCBT-Popular and BCBT-Random and prints the per-step mean-RecNum
+series.  The paper's shape: Plain trails badly (no priori knowledge),
+BPlain starts high, BCBT-Popular converges fastest/highest, BCBT-Random
+underperforms BCBT-Popular (Assumption 1 matters).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from common import RANKERS, RESULTS_DIR, emit, once
+from repro.analysis import line_chart
+from repro.experiments import (build_environment, format_series,
+                               resolve_scale, run_poisonrec)
+
+DESIGNS = ("plain", "bplain", "bcbt-popular", "bcbt-random")
+
+
+def run_curves(scale, rankers, seed=0):
+    curves = {}
+    for ranker_name in rankers:
+        _, _, env = build_environment("steam", ranker_name, scale, seed=seed)
+        for design in DESIGNS:
+            result = run_poisonrec(env, scale, seed=seed,
+                                   action_space=design)
+            curves[(ranker_name, design)] = result.mean_rewards
+    return curves
+
+
+def test_fig4_action_space_convergence(benchmark):
+    scale = resolve_scale()
+    quick = os.environ.get("REPRO_GRID") == "quick"
+    rankers = ("itempop", "covisitation", "bpr") if quick else RANKERS
+    curves = once(benchmark, lambda: run_curves(scale, rankers))
+
+    blocks = []
+    for ranker_name in rankers:
+        lines = [format_series(f"{design:13s}",
+                               curves[(ranker_name, design)])
+                 for design in DESIGNS]
+        blocks.append(f"[steam / {ranker_name}]\n" + "\n".join(lines))
+        line_chart({design: curves[(ranker_name, design)]
+                    for design in DESIGNS},
+                   RESULTS_DIR / f"fig4_{scale.name}_{ranker_name}.svg",
+                   title=f"Figure 4: steam / {ranker_name}",
+                   x_label="training step", y_label="mean RecNum")
+    emit(f"fig4_{scale.name}{'_quick' if quick else ''}",
+         "\n\n".join(blocks))
+
+    # Shape check: biased designs beat Plain on average over the run.
+    def average(design):
+        return np.mean([np.mean(curves[(r, design)]) for r in rankers])
+
+    assert average("bcbt-popular") > average("plain")
+    assert average("bplain") > average("plain")

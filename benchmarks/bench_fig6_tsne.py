@@ -1,0 +1,113 @@
+"""Figure 6: t-SNE of item embeddings with the learned strategy overlaid.
+
+For each embedding-bearing ranker on Steam (ItemPop, CoVisitation and
+AutoRec borrow PMF's embeddings, as in the paper), embeds the items with
+t-SNE and summarizes where the learned attack's clicked items fall: how
+many distinct originals/targets are clicked and how popular the clicked
+originals are relative to the catalog.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import RANKERS, RESULTS_DIR, emit, once
+from repro.analysis import (clicked_item_counts, popularity_color,
+                            scatter_plot, tsne)
+from repro.core import PoisonRec
+from repro.experiments import build_environment, format_table, resolve_scale
+
+#: Rankers without their own item embeddings borrow PMF's (paper, Sec IV-C).
+EMBEDDING_FALLBACK = {"itempop": "pmf", "covisitation": "pmf",
+                      "autorec": "pmf"}
+
+
+def run_fig6(scale, seed=0):
+    summaries = {}
+    pmf_embeddings = None
+    for ranker_name in RANKERS:
+        _, system, env = build_environment("steam", ranker_name, scale,
+                                           seed=seed)
+        embeddings = system.ranker.item_embeddings()
+        if ranker_name == "pmf":
+            pmf_embeddings = embeddings
+        if embeddings is None:
+            source = EMBEDDING_FALLBACK[ranker_name]
+            if pmf_embeddings is None:
+                _, pmf_system, _ = build_environment("steam", "pmf", scale,
+                                                     seed=seed)
+                pmf_embeddings = pmf_system.ranker.item_embeddings()
+            embeddings = pmf_embeddings
+            embedding_source = source
+        else:
+            embedding_source = ranker_name
+
+        projection = tsne(embeddings, iterations=150, seed=seed)
+
+        agent = PoisonRec(env, scale.config(seed=seed))
+        agent.train(scale.rl_steps)
+        trajectories = (agent.result.best_trajectories
+                        or agent.sample_attack().trajectories())
+        clicked = clicked_item_counts(trajectories)
+        originals = {i: c for i, c in clicked.items()
+                     if i < env.num_original_items}
+        targets = [i for i in clicked if i >= env.num_original_items]
+        popularity = env.item_popularity[:env.num_original_items]
+        # Click-weighted popularity percentile of the strategy's original
+        # clicks; 0.5 = popularity-agnostic, higher = popular-leaning.
+        if originals:
+            weights = np.asarray(list(originals.values()), dtype=float)
+            percentiles = np.asarray(
+                [float((popularity < popularity[i]).mean())
+                 for i in originals])
+            weighted = float(np.average(percentiles, weights=weights))
+        else:
+            weighted = 0.5
+
+        # Render the paper-style figure: items colored by popularity,
+        # targets enlarged, clicked items circled.
+        scale_name = scale.name
+        full_popularity = env.item_popularity
+        colors = popularity_color(full_popularity)
+        for target in env.target_items:
+            colors[target] = "#2ca02c"  # targets: green stars in the paper
+        sizes = [4.0 if i >= env.num_original_items else 2.5
+                 for i in range(env.num_items)]
+        scatter_plot(projection, RESULTS_DIR
+                     / f"fig6_{scale_name}_{ranker_name}.svg",
+                     title=f"Figure 6: steam / {ranker_name}",
+                     colors=colors, sizes=sizes,
+                     highlight=sorted(clicked))
+        summaries[ranker_name] = {
+            "embedding_source": embedding_source,
+            "projection_shape": projection.shape,
+            "distinct_originals": len(originals),
+            "distinct_targets": len(targets),
+            "clicked_pop_percentile": weighted,
+        }
+    return summaries
+
+
+def test_fig6_strategy_visualization(benchmark):
+    scale = resolve_scale()
+    summaries = once(benchmark, lambda: run_fig6(scale))
+    rows = [[name,
+             summaries[name]["embedding_source"],
+             summaries[name]["distinct_targets"],
+             summaries[name]["distinct_originals"],
+             f"{summaries[name]['clicked_pop_percentile']:.2f}"]
+            for name in RANKERS]
+    emit(f"fig6_{scale.name}",
+         format_table(["ranker", "embedding_src", "targets_clicked",
+                       "originals_clicked", "orig_pop_percentile"], rows))
+
+    # Shape checks: projections are 2-D for every ranker, every learned
+    # strategy clicks at least one target, and the strategies are not
+    # anti-popular (click-weighted percentile stays near or above the
+    # popularity-agnostic 0.5; strong popular-leaning needs more training
+    # steps than the ci scale allows — see EXPERIMENTS.md).
+    assert all(s["projection_shape"][1] == 2 for s in summaries.values())
+    assert all(s["distinct_targets"] >= 1 for s in summaries.values())
+    mean_percentile = np.mean([s["clicked_pop_percentile"]
+                               for s in summaries.values()])
+    assert mean_percentile > 0.35

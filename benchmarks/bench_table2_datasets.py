@@ -1,0 +1,46 @@
+"""Table II: dataset statistics.
+
+Regenerates the #users / #items / #samples table for the four synthetic
+dataset stand-ins at the selected scale, next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from common import DATASETS, emit, once
+from repro.data import PAPER_SPECS, load_dataset
+from repro.experiments import format_table, resolve_scale
+
+PAPER_ROWS = {
+    "steam": (6506, 5134, 180721),
+    "movielens": (5999, 3706, 943317),
+    "phone": (27879, 10429, 166560),
+    "clothing": (39387, 23033, 239290),
+}
+
+
+def generate_all(scale):
+    return {name: load_dataset(name, scale=scale.dataset_scale, seed=0)
+            for name in DATASETS}
+
+
+def test_table2_dataset_statistics(benchmark):
+    scale = resolve_scale()
+    datasets = once(benchmark, lambda: generate_all(scale))
+    rows = []
+    for name in DATASETS:
+        stats = datasets[name].statistics()
+        paper_users, paper_items, paper_samples = PAPER_ROWS[name]
+        rows.append([name, stats["users"], stats["items"], stats["samples"],
+                     paper_users, paper_items, paper_samples])
+    text = format_table(
+        ["dataset", "users", "items", "samples",
+         "paper_users", "paper_items", "paper_samples"], rows)
+    emit(f"table2_{scale.name}", text)
+
+    # Shape check: scale ratios follow Table II orderings.
+    stats = {name: datasets[name].statistics() for name in DATASETS}
+    assert stats["clothing"]["items"] > stats["phone"]["items"]
+    assert stats["phone"]["users"] > stats["steam"]["users"]
+    for name in DATASETS:
+        assert stats[name]["users"] == PAPER_SPECS[name].num_users or \
+            scale.dataset_scale != "paper"

@@ -1,0 +1,80 @@
+"""Table III: RecNum of every attack method on every (dataset, ranker) cell.
+
+Runs the 6 baselines plus PoisonRec (BCBT-Popular) over the full grid of
+4 datasets x 8 recommendation algorithms and prints one paper-style table
+per dataset.  Absolute numbers depend on the synthetic data scale; the
+*shape* to check is that PoisonRec wins most cells, ConsLOP stands out on
+CoVisitation relative to its own other cells, and AppGrad trails PoisonRec
+on order-sensitive systems.
+"""
+
+from __future__ import annotations
+
+import os
+
+from common import BASELINES, DATASETS, RANKERS, emit, once
+from repro.experiments import (build_environment, format_table,
+                               resolve_scale, run_baseline, run_poisonrec)
+
+METHODS = BASELINES + ("poisonrec",)
+
+
+def run_grid(scale, datasets, rankers, seed=0):
+    grid = {}
+    for dataset_name in datasets:
+        for ranker_name in rankers:
+            _, system, env = build_environment(dataset_name, ranker_name,
+                                               scale, seed=seed)
+            cell = {}
+            for method in BASELINES:
+                cell[method] = run_baseline(method, env, system, scale,
+                                            seed=seed)
+            result = run_poisonrec(env, scale, seed=seed)
+            cell["poisonrec"] = int(result.best_reward)
+            grid[(dataset_name, ranker_name)] = cell
+    return grid
+
+
+def render(grid, datasets, rankers):
+    blocks = []
+    for dataset_name in datasets:
+        rows = []
+        for method in METHODS:
+            rows.append([method] + [grid[(dataset_name, r)][method]
+                                    for r in rankers])
+        blocks.append(f"[{dataset_name}]\n"
+                      + format_table(["method"] + list(rankers), rows))
+    return "\n\n".join(blocks)
+
+
+def test_table3_attack_comparison(benchmark):
+    scale = resolve_scale()
+    # REPRO_GRID=quick restricts to one dataset for a fast sanity pass.
+    quick = os.environ.get("REPRO_GRID") == "quick"
+    datasets = ("steam",) if quick else DATASETS
+    grid = once(benchmark, lambda: run_grid(scale, datasets, RANKERS))
+
+    # Per-method win counts over the grid (ties award all winners;
+    # all-zero cells are skipped, as in Table IV's protocol).
+    cells = [(d, r) for d in datasets for r in RANKERS]
+    wins = {method: 0 for method in METHODS}
+    contested = 0
+    for cell in cells:
+        best = max(grid[cell][m] for m in METHODS)
+        if best <= 0:
+            continue
+        contested += 1
+        for method in METHODS:
+            if grid[cell][method] == best:
+                wins[method] += 1
+    win_line = "wins over contested cells: " + ", ".join(
+        f"{method}={wins[method]}" for method in METHODS)
+    emit(f"table3_{scale.name}{'_quick' if quick else ''}",
+         render(grid, datasets, RANKERS) + "\n\n" + win_line)
+
+    # Shape check (the paper's Table III narrative): PoisonRec is the most
+    # consistently winning method — no single baseline wins more cells.
+    # (The paper's near-sweep of 30/32 cells needs converged training;
+    # the ci budget trains for `scale.rl_steps` steps only.)
+    assert wins["poisonrec"] >= max(wins[m] for m in BASELINES), (
+        f"{win_line} over {contested} contested cells")

@@ -1,0 +1,52 @@
+"""Table IV: how often each heuristic attack wins across the 32 testbeds.
+
+Runs only the four heuristics over the full 4-dataset x 8-ranker grid and
+counts, per heuristic, the testbeds where it achieves the best RecNum
+(ties award all winners; all-zero testbeds are skipped, as the paper does
+for ItemPop on MovieLens).
+"""
+
+from __future__ import annotations
+
+from common import DATASETS, RANKERS, emit, once
+from repro.analysis import win_counts
+from repro.attacks import HEURISTIC_NAMES
+from repro.experiments import (build_environment, format_table,
+                               resolve_scale, run_baseline)
+
+
+def run_heuristic_grid(scale, seed=0):
+    results = {method: [] for method in HEURISTIC_NAMES}
+    per_dataset = {method: {d: [] for d in DATASETS}
+                   for method in HEURISTIC_NAMES}
+    for dataset_name in DATASETS:
+        for ranker_name in RANKERS:
+            _, system, env = build_environment(dataset_name, ranker_name,
+                                               scale, seed=seed)
+            for method in HEURISTIC_NAMES:
+                recnum = run_baseline(method, env, system, scale, seed=seed)
+                results[method].append(recnum)
+                per_dataset[method][dataset_name].append(recnum)
+    return results, per_dataset
+
+
+def test_table4_heuristic_wins(benchmark):
+    scale = resolve_scale()
+    results, per_dataset = once(benchmark,
+                                lambda: run_heuristic_grid(scale))
+    total_wins = win_counts(results)
+    rows = []
+    for method in HEURISTIC_NAMES:
+        dataset_wins = [
+            win_counts({m: per_dataset[m][d] for m in HEURISTIC_NAMES})[method]
+            for d in DATASETS]
+        rows.append([method] + dataset_wins + [total_wins[method]])
+    text = format_table(["method"] + list(DATASETS) + ["all"], rows)
+    emit(f"table4_{scale.name}", text)
+
+    # Shape check: every testbed with a nonzero winner is attributed, and
+    # no single heuristic dominates everywhere (the paper's conclusion).
+    contested = sum(1 for i in range(len(results["random"]))
+                    if max(results[m][i] for m in HEURISTIC_NAMES) > 0)
+    assert sum(total_wins.values()) >= contested
+    assert max(total_wins.values()) < contested

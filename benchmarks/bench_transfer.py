@@ -1,0 +1,62 @@
+"""Extension: do learned strategies transfer across recommender systems?
+
+The paper motivates PoisonRec by the *diversity* of optimal strategies —
+each ranker provokes a different attack (Figure 6).  The converse claim is
+that a strategy tuned for one system should transfer poorly to another.
+This bench trains PoisonRec on a source ranker, then replays its best
+trajectory set against every other ranker, producing a transfer matrix.
+
+Expected shape: the diagonal (native strategy) is at or near the row
+maximum for most source systems; ConsLOP's poor transfer in Table III is
+the baseline analogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, once
+from repro.core import PoisonRec
+from repro.experiments import (build_environment, format_table,
+                               resolve_scale)
+
+#: Fast rankers only — the transfer matrix needs many cross-evaluations.
+TRANSFER_RANKERS = ("itempop", "covisitation", "pmf", "autorec")
+
+
+def run_transfer(scale, seed=0):
+    environments = {}
+    strategies = {}
+    for ranker_name in TRANSFER_RANKERS:
+        _, _, env = build_environment("steam", ranker_name, scale, seed=seed)
+        environments[ranker_name] = env
+        agent = PoisonRec(env, scale.config(seed=seed))
+        result = agent.train(scale.rl_steps)
+        strategies[ranker_name] = (result.best_trajectories
+                                   or agent.sample_attack().trajectories())
+    matrix = {}
+    for source in TRANSFER_RANKERS:
+        for target in TRANSFER_RANKERS:
+            matrix[(source, target)] = environments[target].attack(
+                strategies[source])
+    return matrix
+
+
+def test_strategy_transfer(benchmark):
+    scale = resolve_scale()
+    matrix = once(benchmark, lambda: run_transfer(scale))
+    rows = [[source] + [matrix[(source, target)]
+                        for target in TRANSFER_RANKERS]
+            for source in TRANSFER_RANKERS]
+    emit(f"transfer_{scale.name}",
+         format_table(["trained_on \\ attacked"] + list(TRANSFER_RANKERS),
+                      rows))
+
+    # Shape check: on average, the native strategy outperforms strategies
+    # transferred from other systems.
+    native = np.mean([matrix[(r, r)] for r in TRANSFER_RANKERS])
+    transferred = np.mean([matrix[(s, t)]
+                           for s in TRANSFER_RANKERS
+                           for t in TRANSFER_RANKERS if s != t])
+    assert native >= transferred, (
+        f"native mean {native:.0f} < transferred mean {transferred:.0f}")

@@ -1,0 +1,52 @@
+"""Compare every attack method on one testbed (a mini Table III column).
+
+Runs the paper's six baselines and PoisonRec against the same black-box
+recommender and prints their RecNum side by side.
+
+Run:
+    python examples/attack_comparison.py [ranker]
+where ranker is one of: itempop covisitation pmf bpr neumf autorec
+gru4rec ngcf (default: covisitation).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (BlackBoxEnvironment, PoisonRec, PoisonRecConfig,
+                   RecommenderSystem, load_dataset)
+from repro.attacks import BASELINE_CLASSES, AttackBudget
+from repro.experiments import format_table
+
+
+def main(ranker_name: str = "covisitation") -> None:
+    dataset = load_dataset("steam", scale="ci", seed=0)
+    system = RecommenderSystem(dataset, ranker_name, seed=0)
+    env = BlackBoxEnvironment(system)
+    budget = AttackBudget(num_attackers=20, trajectory_length=20)
+    print(f"Testbed: steam / {ranker_name}, clean RecNum = "
+          f"{env.clean_recnum()}\n")
+
+    rows = []
+    for name, cls in BASELINE_CLASSES.items():
+        kwargs = {}
+        if name == "conslop":
+            # Privileged baseline: receives the system log, as in the paper.
+            kwargs["system_log"] = system.clean_log
+        if name == "appgrad":
+            kwargs["iterations"] = 15
+        outcome = cls(env, budget, seed=0, **kwargs).run()
+        rows.append([name, outcome.recnum])
+
+    config = PoisonRecConfig.ci(num_attackers=20, trajectory_length=20,
+                                samples_per_step=8, batch_size=8, seed=0)
+    agent = PoisonRec(env, config, action_space="bcbt-popular")
+    agent.train(steps=12)
+    rows.append(["poisonrec", int(agent.result.best_reward)])
+
+    rows.sort(key=lambda row: -row[1])
+    print(format_table(["method", "RecNum"], rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "covisitation")

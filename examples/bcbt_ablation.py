@@ -1,0 +1,43 @@
+"""BCBT ablation: reproduce the Figure 4 comparison on one testbed.
+
+Trains PoisonRec under the four action-space designs — Plain, BPlain,
+BCBT-Popular, BCBT-Random — against the same recommender and prints the
+training curves, illustrating the paper's two findings:
+
+* priori knowledge (BPlain, BCBT-*) lifts the curve from step one;
+* the popularity-sorted hierarchy (BCBT-Popular) converges best.
+
+Run:
+    python examples/bcbt_ablation.py
+"""
+
+from __future__ import annotations
+
+from repro import (BlackBoxEnvironment, PoisonRec, PoisonRecConfig,
+                   RecommenderSystem, load_dataset)
+from repro.experiments import format_series
+
+DESIGNS = ("plain", "bplain", "bcbt-popular", "bcbt-random")
+
+
+def main() -> None:
+    dataset = load_dataset("steam", scale="ci", seed=0)
+    system = RecommenderSystem(dataset, "itempop", seed=0)
+    env = BlackBoxEnvironment(system)
+    print(f"Testbed: steam / itempop, clean RecNum = {env.clean_recnum()}\n")
+
+    for design in DESIGNS:
+        config = PoisonRecConfig.ci(num_attackers=20, trajectory_length=20,
+                                    samples_per_step=8, batch_size=8, seed=0)
+        agent = PoisonRec(env, config, action_space=design)
+        result = agent.train(steps=12)
+        print(format_series(f"{design:13s}", result.mean_rewards,
+                            precision=0)
+              + f"  best={result.best_reward:.0f}")
+
+    print("\nExpected shape: plain stays near zero; bplain/bcbt start high;"
+          "\nbcbt-popular reaches the best final RecNum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Defense-side analysis: how detectable is each attack?
+
+An extension beyond the paper: runs every attack against the same
+recommender, then asks three classic shilling detectors to find the fake
+accounts among a batch that also contains organic users.  Prints the
+effectiveness-vs-stealth trade-off.
+
+Run:
+    python examples/detection_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import (BlackBoxEnvironment, PoisonRec, PoisonRecConfig,
+                   RecommenderSystem, load_dataset)
+from repro.analysis import ALL_DETECTORS, evaluate_detection
+from repro.attacks import BASELINE_CLASSES, AttackBudget
+from repro.experiments import format_table
+
+
+def main() -> None:
+    dataset = load_dataset("steam", scale="ci", seed=0)
+    system = RecommenderSystem(dataset, "itempop", seed=0)
+    env = BlackBoxEnvironment(system)
+    budget = AttackBudget(num_attackers=20, trajectory_length=20)
+
+    attacks = {}
+    for name, cls in BASELINE_CLASSES.items():
+        kwargs = {"system_log": system.clean_log} if name == "conslop" else {}
+        if name == "appgrad":
+            kwargs["iterations"] = 8
+        attack = cls(env, budget, seed=0, **kwargs)
+        outcome = attack.run()
+        attacks[name] = (outcome.trajectories, outcome.recnum)
+
+    agent = PoisonRec(env, PoisonRecConfig.ci(num_attackers=20,
+                                              trajectory_length=20, seed=0))
+    agent.train(steps=10)
+    trajectories = (agent.result.best_trajectories
+                    or agent.sample_attack().trajectories())
+    attacks["poisonrec"] = (trajectories, int(agent.result.best_reward))
+
+    detector_names = [cls(99).name for cls in ALL_DETECTORS]
+    rows = []
+    for name, (trajs, recnum) in attacks.items():
+        accounts = {10_000 + i: list(t) for i, t in enumerate(trajs)}
+        recalls = []
+        for detector_cls in ALL_DETECTORS:
+            report = evaluate_detection(detector_cls(99), system.clean_log,
+                                        accounts)
+            recalls.append(f"{report.recall:.2f}")
+        rows.append([name, recnum] + recalls)
+
+    rows.sort(key=lambda row: -row[1])
+    print(format_table(["method", "RecNum"] + detector_names, rows))
+    print("\nReading: recall 1.00 means every fake account was flagged."
+          "\nAttacks that click cold target items heavily are visible to"
+          "\nthe popularity-deviation detector; strategies that mimic"
+          "\norganic popularity profiles trade RecNum for stealth.")
+
+
+if __name__ == "__main__":
+    main()

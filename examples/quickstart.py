@@ -1,0 +1,52 @@
+"""Quickstart: attack a black-box recommender with PoisonRec.
+
+Builds a small Steam-like dataset, stands up a BPR recommender behind the
+black-box interface, trains the PoisonRec agent for a handful of steps and
+reports how far the target items were promoted.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (BlackBoxEnvironment, PoisonRec, PoisonRecConfig,
+                   RecommenderSystem, load_dataset)
+
+
+def main() -> None:
+    # 1. A recommender system the attacker cannot see inside.
+    dataset = load_dataset("steam", scale="ci", seed=0)
+    system = RecommenderSystem(dataset, "bpr", seed=0)
+    env = BlackBoxEnvironment(system)
+    print(f"System under attack: {system}")
+    print(f"Attacker knowledge: {env.num_items} items, "
+          f"{len(env.target_items)} targets, popularity vector, "
+          "RecNum signal. Nothing else.")
+    print(f"Clean RecNum (no poisoning): {env.clean_recnum()}")
+
+    # 2. The PoisonRec agent with the paper's full method (BCBT-Popular).
+    config = PoisonRecConfig.ci(num_attackers=20, trajectory_length=20,
+                                seed=0)
+    agent = PoisonRec(env, config, action_space="bcbt-popular")
+
+    # 3. Train: inject fake trajectories, observe RecNum, improve via PPO.
+    print("\nstep  mean_RecNum  max_RecNum")
+    agent.train(steps=10, callback=lambda s: print(
+        f"{s.step:4d}  {s.mean_reward:11.1f}  {s.max_reward:10.0f}"))
+
+    # 4. Inspect what was learned.
+    result = agent.result
+    print(f"\nBest observed RecNum: {result.best_reward:.0f}")
+    ratio = agent.target_click_ratio()
+    print(f"Learned target-click ratio: {ratio:.2f}")
+    if result.best_trajectories:
+        first = result.best_trajectories[0]
+        labeled = ["T" if i >= env.num_original_items else str(i)
+                   for i in first]
+        print(f"Best trajectory of attacker 0 (T = target item): "
+              f"{' '.join(labeled)}")
+
+
+if __name__ == "__main__":
+    main()

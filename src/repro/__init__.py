@@ -1,0 +1,29 @@
+"""PoisonRec reproduction: adaptive data poisoning attacks on black-box
+recommender systems (Song et al., ICDE 2020).
+
+Quickstart
+----------
+>>> from repro import load_dataset, RecommenderSystem, BlackBoxEnvironment
+>>> from repro import PoisonRec, PoisonRecConfig
+>>> dataset = load_dataset("steam", scale="ci", seed=0)
+>>> system = RecommenderSystem(dataset, "bpr", seed=0)
+>>> env = BlackBoxEnvironment(system)
+>>> agent = PoisonRec(env, PoisonRecConfig.ci(), action_space="bcbt-popular")
+>>> result = agent.train(steps=5)
+"""
+
+from .core import (PoisonRec, PoisonRecConfig, TrainResult, build_bcbt,
+                   make_action_space)
+from .data import Dataset, InteractionLog, load_dataset
+from .recsys import (RANKER_NAMES, BlackBoxEnvironment, RecommenderSystem,
+                     make_ranker)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PoisonRec", "PoisonRecConfig", "TrainResult", "build_bcbt",
+    "make_action_space",
+    "Dataset", "InteractionLog", "load_dataset",
+    "RANKER_NAMES", "BlackBoxEnvironment", "RecommenderSystem", "make_ranker",
+    "__version__",
+]

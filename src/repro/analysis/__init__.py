@@ -1,0 +1,19 @@
+"""Analysis utilities: t-SNE visualization and attack metrics."""
+
+from .detection import (ALL_DETECTORS, DetectionReport, Detector,
+                        DuplicateClickDetector, PopularityDeviationDetector,
+                        ProfileSimilarityDetector, evaluate_detection)
+from .metrics import (clicked_item_counts, distinct_targets_promoted,
+                      target_click_ratio, uplift, win_counts)
+from .plotting import line_chart, popularity_color, scatter_plot
+from .tsne import tsne
+
+__all__ = [
+    "tsne",
+    "target_click_ratio", "clicked_item_counts",
+    "distinct_targets_promoted", "uplift", "win_counts",
+    "line_chart", "scatter_plot", "popularity_color",
+    "Detector", "DetectionReport", "DuplicateClickDetector",
+    "PopularityDeviationDetector", "ProfileSimilarityDetector",
+    "ALL_DETECTORS", "evaluate_detection",
+]

@@ -1,0 +1,71 @@
+"""Attack- and strategy-level metrics used across the experiments."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def target_click_ratio(trajectories: Sequence[Sequence[int]],
+                       num_original_items: int) -> float:
+    """Fraction of clicks landing on target items (Figure 5's y-axis)."""
+    total = 0
+    on_target = 0
+    for trajectory in trajectories:
+        for item in trajectory:
+            total += 1
+            if item >= num_original_items:
+                on_target += 1
+    return on_target / max(total, 1)
+
+
+def clicked_item_counts(trajectories: Sequence[Sequence[int]]
+                        ) -> Dict[int, int]:
+    """Click count per item across all trajectories (Figure 6 overlay)."""
+    counts: Counter = Counter()
+    for trajectory in trajectories:
+        counts.update(trajectory)
+    return dict(counts)
+
+
+def distinct_targets_promoted(trajectories: Sequence[Sequence[int]],
+                              num_original_items: int,
+                              min_clicks: int = 1) -> int:
+    """How many distinct target items receive at least ``min_clicks``."""
+    counts = clicked_item_counts(trajectories)
+    return sum(1 for item, count in counts.items()
+               if item >= num_original_items and count >= min_clicks)
+
+
+def uplift(poisoned_recnum: float, clean_recnum: float) -> float:
+    """Absolute RecNum gain of an attack over the clean system."""
+    return poisoned_recnum - clean_recnum
+
+
+def win_counts(results: Dict[str, List[float]]) -> Dict[str, int]:
+    """Table IV: per-method count of testbeds where the method is best.
+
+    ``results`` maps method name to a list of per-testbed RecNum values
+    (all lists aligned and equal length).  Ties award every tied winner.
+    Testbeds where *every* method scores zero are skipped, matching the
+    paper's exclusion of the all-zero ItemPop/MovieLens cell.
+    """
+    if not results:
+        return {}
+    lengths = {len(values) for values in results.values()}
+    if len(lengths) != 1:
+        raise ValueError("all methods must cover the same testbeds")
+    num_testbeds = lengths.pop()
+    wins = {method: 0 for method in results}
+    for testbed in range(num_testbeds):
+        scores = {method: values[testbed]
+                  for method, values in results.items()}
+        best = max(scores.values())
+        if best <= 0:
+            continue
+        for method, score in scores.items():
+            if score == best:
+                wins[method] += 1
+    return wins

@@ -1,0 +1,193 @@
+"""Dependency-free SVG plotting for the figure benchmarks.
+
+matplotlib is not available in the reproduction environment, so the
+figure benches render their line charts (Figure 4 training curves) and
+scatter plots (Figure 6 t-SNE overlays) as standalone SVG files with this
+tiny plotting layer.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, pathlib.Path]
+
+#: A compact categorical palette (distinct at small sizes).
+PALETTE = ("#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+           "#ff8ab7", "#a463f2", "#97bbf5")
+
+
+@dataclass
+class _Frame:
+    """Shared axis-frame geometry for both chart types."""
+
+    width: int = 560
+    height: int = 360
+    margin_left: int = 56
+    margin_right: int = 16
+    margin_top: int = 36
+    margin_bottom: int = 44
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x_pixel(self, value: float, lo: float, hi: float) -> float:
+        span = (hi - lo) or 1.0
+        return self.margin_left + (value - lo) / span * self.plot_width
+
+    def y_pixel(self, value: float, lo: float, hi: float) -> float:
+        span = (hi - lo) or 1.0
+        return (self.margin_top
+                + (1.0 - (value - lo) / span) * self.plot_height)
+
+
+def _axis_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        return [lo]
+    raw = np.linspace(lo, hi, count)
+    return [float(v) for v in raw]
+
+
+def _svg_header(frame: _Frame, title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{frame.width}" '
+        f'height="{frame.height}" viewBox="0 0 {frame.width} '
+        f'{frame.height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{frame.width}" height="{frame.height}" '
+        'fill="white"/>',
+        f'<text x="{frame.width / 2}" y="20" text-anchor="middle" '
+        f'font-size="13" font-weight="bold">{title}</text>',
+    ]
+
+
+def _svg_axes(frame: _Frame, x_range: Tuple[float, float],
+              y_range: Tuple[float, float], x_label: str,
+              y_label: str) -> List[str]:
+    parts = []
+    x0, x1 = frame.margin_left, frame.margin_left + frame.plot_width
+    y0, y1 = frame.margin_top, frame.margin_top + frame.plot_height
+    parts.append(f'<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" '
+                 'stroke="#333"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" '
+                 'stroke="#333"/>')
+    for tick in _axis_ticks(*x_range):
+        px = frame.x_pixel(tick, *x_range)
+        parts.append(f'<line x1="{px:.1f}" y1="{y1}" x2="{px:.1f}" '
+                     f'y2="{y1 + 4}" stroke="#333"/>')
+        parts.append(f'<text x="{px:.1f}" y="{y1 + 16}" '
+                     f'text-anchor="middle">{tick:g}</text>')
+    for tick in _axis_ticks(*y_range):
+        py = frame.y_pixel(tick, *y_range)
+        parts.append(f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" '
+                     f'y2="{py:.1f}" stroke="#333"/>')
+        parts.append(f'<text x="{x0 - 7}" y="{py + 3:.1f}" '
+                     f'text-anchor="end">{tick:g}</text>')
+    parts.append(f'<text x="{(x0 + x1) / 2}" y="{frame.height - 8}" '
+                 f'text-anchor="middle">{x_label}</text>')
+    parts.append(f'<text x="14" y="{(y0 + y1) / 2}" text-anchor="middle" '
+                 f'transform="rotate(-90 14 {(y0 + y1) / 2})">'
+                 f'{y_label}</text>')
+    return parts
+
+
+def line_chart(series: Dict[str, Sequence[float]], path: PathLike,
+               title: str = "", x_label: str = "step",
+               y_label: str = "RecNum") -> pathlib.Path:
+    """Write a multi-series line chart (Figure 4 style) as SVG.
+
+    ``series`` maps legend label to the y-values (x is the index).
+    Returns the written path.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    frame = _Frame()
+    max_len = max(len(values) for values in series.values())
+    all_values = [v for values in series.values() for v in values]
+    y_lo = min(0.0, min(all_values))
+    y_hi = max(all_values) or 1.0
+    x_range = (0.0, float(max(max_len - 1, 1)))
+    y_range = (y_lo, y_hi * 1.05)
+
+    parts = _svg_header(frame, title)
+    parts += _svg_axes(frame, x_range, y_range, x_label, y_label)
+    for index, (label, values) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{frame.x_pixel(i, *x_range):.1f},"
+            f"{frame.y_pixel(v, *y_range):.1f}"
+            for i, v in enumerate(values))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        legend_y = frame.margin_top + 14 * index
+        legend_x = frame.margin_left + frame.plot_width - 130
+        parts.append(f'<line x1="{legend_x}" y1="{legend_y}" '
+                     f'x2="{legend_x + 18}" y2="{legend_y}" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{legend_x + 23}" y="{legend_y + 4}">'
+                     f'{label}</text>')
+    parts.append("</svg>")
+    output = pathlib.Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text("\n".join(parts))
+    return output
+
+
+def scatter_plot(points: np.ndarray, path: PathLike, title: str = "",
+                 colors: Optional[Sequence[str]] = None,
+                 sizes: Optional[Sequence[float]] = None,
+                 highlight: Optional[Sequence[int]] = None
+                 ) -> pathlib.Path:
+    """Write a 2-D scatter (Figure 6 style) as SVG.
+
+    ``points`` is ``(n, 2)``; ``highlight`` indices are drawn as outlined
+    stars-of-circles (the paper circles clicked items).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("scatter_plot expects (n, 2) points")
+    frame = _Frame()
+    x_range = (float(points[:, 0].min()), float(points[:, 0].max()))
+    y_range = (float(points[:, 1].min()), float(points[:, 1].max()))
+
+    parts = _svg_header(frame, title)
+    parts += _svg_axes(frame, x_range, y_range, "t-SNE dim 1", "t-SNE dim 2")
+    highlight_set = set(highlight or ())
+    for index, (x, y) in enumerate(points):
+        px = frame.x_pixel(x, *x_range)
+        py = frame.y_pixel(y, *y_range)
+        color = (colors[index] if colors is not None else PALETTE[0])
+        radius = (sizes[index] if sizes is not None else 2.5)
+        parts.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius:.1f}" '
+                     f'fill="{color}" fill-opacity="0.75"/>')
+        if index in highlight_set:
+            parts.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" '
+                         f'r="{radius + 3:.1f}" fill="none" '
+                         'stroke="#d62728" stroke-width="1.5"/>')
+    parts.append("</svg>")
+    output = pathlib.Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text("\n".join(parts))
+    return output
+
+
+def popularity_color(popularity: np.ndarray) -> List[str]:
+    """Map popularity to a blue->orange ramp (Figure 6's color coding)."""
+    popularity = np.asarray(popularity, dtype=float)
+    hi = popularity.max() or 1.0
+    ramp = np.clip(popularity / hi, 0.0, 1.0)
+    colors = []
+    for level in ramp:
+        red = int(60 + 195 * level)
+        green = int(105 + 60 * level)
+        blue = int(208 - 170 * level)
+        colors.append(f"#{red:02x}{green:02x}{blue:02x}")
+    return colors

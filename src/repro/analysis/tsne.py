@@ -1,0 +1,90 @@
+"""Minimal exact t-SNE (van der Maaten & Hinton, 2008) for Figure 6.
+
+Good enough for visualizing a few hundred item embeddings: exact pairwise
+affinities with per-point perplexity calibration via binary search,
+gradient descent with momentum and early exaggeration.  No Barnes-Hut —
+complexity is O(n^2) per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    norms = (x ** 2).sum(axis=1)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float,
+                               tolerance: float = 1e-5,
+                               max_iterations: int = 50) -> np.ndarray:
+    """Row-stochastic P with each row's entropy matched to ``perplexity``."""
+    n = len(distances)
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iterations):
+            exp_row = np.exp(-row * beta)
+            exp_row[i] = 0.0
+            total = exp_row.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            p = exp_row / total
+            nonzero = p > 0
+            entropy = -np.sum(p[nonzero] * np.log(p[nonzero]))
+            error = entropy - target_entropy
+            if abs(error) < tolerance:
+                break
+            if error > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (
+                    (beta + beta_high) / 2.0)
+            else:
+                beta_high = beta
+                beta = (beta + beta_low) / 2.0
+        probabilities[i] = exp_row / max(total, 1e-12)
+    return probabilities
+
+
+def tsne(x: np.ndarray, num_components: int = 2, perplexity: float = 30.0,
+         iterations: int = 300, learning_rate: float = 100.0,
+         seed: int = 0) -> np.ndarray:
+    """Embed ``x`` into ``num_components`` dimensions with exact t-SNE."""
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n < 4:
+        raise ValueError("t-SNE needs at least 4 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = np.random.default_rng(seed)
+
+    distances = _pairwise_squared_distances(x)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    y = rng.normal(0.0, 1e-4, size=(n, num_components))
+    velocity = np.zeros_like(y)
+    exaggeration = 4.0
+    for iteration in range(iterations):
+        p = joint * exaggeration if iteration < 50 else joint
+        d2 = _pairwise_squared_distances(y)
+        inv = 1.0 / (1.0 + d2)
+        np.fill_diagonal(inv, 0.0)
+        q = inv / max(inv.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+        coefficient = (p - q) * inv
+        gradient = 4.0 * ((np.diag(coefficient.sum(axis=1)) - coefficient)
+                          @ y)
+        momentum = 0.5 if iteration < 100 else 0.8
+        velocity = momentum * velocity - learning_rate * gradient
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

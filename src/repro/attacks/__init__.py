@@ -1,0 +1,29 @@
+"""Attack methods: the paper's six baselines plus shared infrastructure.
+
+PoisonRec itself lives in :mod:`repro.core`; this package holds the
+comparison methods of Table III.
+"""
+
+from typing import Dict, Type
+
+from .appgrad import AppGrad
+from .base import Attack, AttackBudget, AttackOutcome
+from .conslop import ConsLOP
+from .heuristics import (MiddleAttack, PopularAttack, PowerItemAttack,
+                         RandomAttack)
+
+#: Table III baseline order (PoisonRec is run separately via repro.core).
+BASELINE_CLASSES: Dict[str, Type[Attack]] = {
+    cls.name: cls
+    for cls in (RandomAttack, PopularAttack, MiddleAttack, PowerItemAttack,
+                ConsLOP, AppGrad)
+}
+
+HEURISTIC_NAMES = ("random", "popular", "middle", "poweritem")
+
+__all__ = [
+    "Attack", "AttackBudget", "AttackOutcome",
+    "RandomAttack", "PopularAttack", "MiddleAttack", "PowerItemAttack",
+    "ConsLOP", "AppGrad",
+    "BASELINE_CLASSES", "HEURISTIC_NAMES",
+]

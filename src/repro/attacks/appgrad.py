@@ -1,0 +1,121 @@
+"""AppGrad: approximate-gradient attack (Christakopoulou & Banerjee 2019).
+
+The attack maintains an ``N x |items|`` integer matrix ``M`` where
+``M[i, j]`` is the number of clicks attacker ``i`` spends on item ``j``
+(rows sum to T).  ``f(M) = -RecNum`` is minimized by iteratively probing
+the black box: each iteration proposes click reallocations (move one click
+from item ``a`` to item ``b``), queries the system for the perturbed
+RecNum, and keeps the move if it helps — a discrete approximation of
+gradient descent on ``f`` when only function evaluations are available.
+
+Following the paper's adaptation (Section IV-A):
+
+* the matrix is initialized from *discrete behaviors sampled with the
+  biased prior* (about half the clicks on targets) rather than GAN-
+  generated ratings,
+* each attacker keeps exactly T behaviors,
+* click *order* is not modeled — trajectories are randomly shuffled rows,
+  which is why AppGrad underperforms on order-sensitive systems
+  (CoVisitation, GRU4Rec).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..recsys.system import BlackBoxEnvironment
+from .base import Attack, AttackBudget
+
+
+class AppGrad(Attack):
+    """Approximate-gradient click-matrix attack."""
+
+    name = "appgrad"
+
+    def __init__(self, env: BlackBoxEnvironment,
+                 budget: AttackBudget | None = None, seed: int = 0,
+                 iterations: int = 40, probes_per_iteration: int = 4) -> None:
+        super().__init__(env, budget, seed)
+        self.iterations = iterations
+        self.probes_per_iteration = probes_per_iteration
+        self.matrix = self._initial_matrix()
+        self.best_recnum: int | None = None
+
+    # ------------------------------------------------------------------
+    def _initial_matrix(self) -> np.ndarray:
+        """Biased-prior initialization: ~half of the clicks on targets."""
+        n = self.budget.num_attackers
+        t = self.budget.trajectory_length
+        matrix = np.zeros((n, self.env.num_items), dtype=np.int64)
+        targets = self.env.target_items
+        popularity = self.env.item_popularity[:self.env.num_original_items]
+        weights = popularity + 1.0
+        weights = weights / weights.sum()
+        for i in range(n):
+            for _ in range(t):
+                if self.rng.random() < 0.5:
+                    item = int(self.rng.choice(targets))
+                else:
+                    item = int(self.rng.choice(self.env.num_original_items,
+                                               p=weights))
+                matrix[i, item] += 1
+        return matrix
+
+    def _trajectories_from(self, matrix: np.ndarray) -> List[List[int]]:
+        """Expand click counts to randomly ordered trajectories."""
+        trajectories = []
+        for row in matrix:
+            clicks: List[int] = []
+            for item in np.flatnonzero(row):
+                clicks.extend([int(item)] * int(row[item]))
+            self.rng.shuffle(clicks)
+            trajectories.append(clicks)
+        return trajectories
+
+    def _propose(self, matrix: np.ndarray) -> np.ndarray:
+        """Move one click of a random attacker to a different item.
+
+        Moves are biased toward informative reallocations: the destination
+        is a target item half the time, a popularity-weighted original
+        otherwise.
+        """
+        proposal = matrix.copy()
+        attacker = int(self.rng.integers(len(matrix)))
+        sources = np.flatnonzero(proposal[attacker])
+        source = int(self.rng.choice(sources))
+        if self.rng.random() < 0.5:
+            dest = int(self.rng.choice(self.env.target_items))
+        else:
+            dest = int(self.rng.integers(self.env.num_original_items))
+        if dest == source:
+            return proposal
+        proposal[attacker, source] -= 1
+        proposal[attacker, dest] += 1
+        return proposal
+
+    # ------------------------------------------------------------------
+    def optimize(self) -> np.ndarray:
+        """Run the query-based descent; returns the optimized matrix."""
+        current = self.matrix
+        current_value = self.env.attack(self._trajectories_from(current))
+        for _ in range(self.iterations):
+            best_proposal = None
+            best_value = current_value
+            for _ in range(self.probes_per_iteration):
+                proposal = self._propose(current)
+                value = self.env.attack(self._trajectories_from(proposal))
+                if value > best_value:
+                    best_value = value
+                    best_proposal = proposal
+            if best_proposal is not None:
+                current = best_proposal
+                current_value = best_value
+        self.matrix = current
+        self.best_recnum = int(current_value)
+        return current
+
+    def generate(self) -> List[List[int]]:
+        self.optimize()
+        return self._trajectories_from(self.matrix)

@@ -1,0 +1,70 @@
+"""Shared interface for all attack methods compared in the paper.
+
+Every attack receives the black-box environment and a budget (N attacker
+accounts, T clicks per account) and produces the N trajectories to inject.
+``run`` executes the attack against the environment and reports the
+resulting RecNum — the paper's Table III entry for that (attack, system,
+dataset) cell.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, List
+
+import numpy as np
+
+from ..recsys.system import BlackBoxEnvironment
+
+
+@dataclass(frozen=True)
+class AttackBudget:
+    """N fake accounts, each clicking T items (paper defaults: 20/20)."""
+
+    num_attackers: int = 20
+    trajectory_length: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_attackers <= 0 or self.trajectory_length <= 0:
+            raise ValueError("budget dimensions must be positive")
+
+    @property
+    def total_clicks(self) -> int:
+        return self.num_attackers * self.trajectory_length
+
+
+@dataclass
+class AttackOutcome:
+    """Result of executing one attack."""
+
+    method: str
+    recnum: int
+    trajectories: List[List[int]]
+
+
+class Attack(abc.ABC):
+    """Base class for attack strategies."""
+
+    name: ClassVar[str] = "base"
+
+    def __init__(self, env: BlackBoxEnvironment,
+                 budget: AttackBudget | None = None, seed: int = 0) -> None:
+        self.env = env
+        self.budget = budget or AttackBudget()
+        if self.budget.num_attackers > env.num_attackers:
+            raise ValueError(
+                f"budget needs {self.budget.num_attackers} accounts but the "
+                f"environment provides {env.num_attackers}")
+        self.rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def generate(self) -> List[List[int]]:
+        """Produce the N attack trajectories (item id sequences)."""
+
+    def run(self) -> AttackOutcome:
+        """Generate, inject, and measure."""
+        trajectories = self.generate()
+        recnum = self.env.attack(trajectories)
+        return AttackOutcome(method=self.name, recnum=recnum,
+                             trajectories=trajectories)

@@ -1,0 +1,162 @@
+"""The paper's four heuristic attack baselines (Section IV-A).
+
+* **Random Attack** — alternate a random original item and a random target.
+* **Popular Attack** — alternate a top-k% popular item and a target.
+* **Middle Attack** — at each step pick uniformly among {targets, popular
+  set, unpopular set}; may click several targets in a row.
+* **PowerItem Attack** — alternate "power items" (selected by in-degree
+  centrality on the co-visitation graph, Seminario & Wilson 2014) and
+  targets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from ..data.popularity import top_percent_items
+from ..recsys.system import BlackBoxEnvironment
+from .base import Attack, AttackBudget
+
+
+class RandomAttack(Attack):
+    """Alternate random original items and random target items."""
+
+    name = "random"
+
+    def generate(self) -> List[List[int]]:
+        trajectories = []
+        targets = self.env.target_items
+        for _ in range(self.budget.num_attackers):
+            trajectory = []
+            for step in range(self.budget.trajectory_length):
+                if step % 2 == 0:
+                    trajectory.append(int(self.rng.choice(targets)))
+                else:
+                    trajectory.append(
+                        int(self.rng.integers(self.env.num_original_items)))
+            trajectories.append(trajectory)
+        return trajectories
+
+
+class PopularAttack(Attack):
+    """Alternate top-k% popular items and targets (paper: k=10)."""
+
+    name = "popular"
+
+    def __init__(self, env: BlackBoxEnvironment,
+                 budget: AttackBudget | None = None, seed: int = 0,
+                 top_percent: float = 10.0) -> None:
+        super().__init__(env, budget, seed)
+        original_popularity = env.item_popularity[:env.num_original_items]
+        self.popular_items = top_percent_items(original_popularity,
+                                               top_percent)
+
+    def generate(self) -> List[List[int]]:
+        trajectories = []
+        targets = self.env.target_items
+        for _ in range(self.budget.num_attackers):
+            trajectory = []
+            for step in range(self.budget.trajectory_length):
+                if step % 2 == 0:
+                    trajectory.append(int(self.rng.choice(targets)))
+                else:
+                    trajectory.append(int(self.rng.choice(self.popular_items)))
+            trajectories.append(trajectory)
+        return trajectories
+
+
+class MiddleAttack(Attack):
+    """Uniformly pick a set — targets, popular, or unpopular — each step."""
+
+    name = "middle"
+
+    def __init__(self, env: BlackBoxEnvironment,
+                 budget: AttackBudget | None = None, seed: int = 0,
+                 top_percent: float = 10.0) -> None:
+        super().__init__(env, budget, seed)
+        original_popularity = env.item_popularity[:env.num_original_items]
+        self.popular_items = top_percent_items(original_popularity,
+                                               top_percent)
+        self.unpopular_items = np.setdiff1d(
+            np.arange(env.num_original_items), self.popular_items)
+        if len(self.unpopular_items) == 0:
+            self.unpopular_items = np.arange(env.num_original_items)
+
+    def generate(self) -> List[List[int]]:
+        trajectories = []
+        sets = (self.env.target_items, self.popular_items,
+                self.unpopular_items)
+        for _ in range(self.budget.num_attackers):
+            trajectory = []
+            for _ in range(self.budget.trajectory_length):
+                chosen = sets[int(self.rng.integers(3))]
+                trajectory.append(int(self.rng.choice(chosen)))
+            trajectories.append(trajectory)
+        return trajectories
+
+
+class PowerItemAttack(Attack):
+    """Alternate power items (in-degree centrality) and targets.
+
+    Power items are selected on the co-visitation graph the attacker can
+    estimate from crawled data; here we rebuild it from item popularity
+    co-occurrence by exposing the environment's public co-click structure
+    via popularity-weighted sampling when no graph is observable.  The
+    in-degree centrality selection follows Seminario & Wilson (2014).
+    """
+
+    name = "poweritem"
+
+    def __init__(self, env: BlackBoxEnvironment,
+                 budget: AttackBudget | None = None, seed: int = 0,
+                 num_power_items: int = 10) -> None:
+        super().__init__(env, budget, seed)
+        self.power_items = self._select_power_items(num_power_items)
+
+    def _covisitation_graph(self) -> nx.DiGraph:
+        """Directed co-visitation graph from the environment's public data.
+
+        The attacker approximates co-visits by pairing popular items: the
+        probability two items co-occur in a session is proportional to the
+        product of their popularities (the crawlable signal).  Edges point
+        from the less to the more popular item, so in-degree concentrates
+        on influential items.
+        """
+        popularity = self.env.item_popularity[:self.env.num_original_items]
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(len(popularity)))
+        order = np.argsort(-popularity)
+        # Connect each item to the `k` items just above it in popularity —
+        # a deterministic proxy for observed co-visits.
+        k = 5
+        for rank, item in enumerate(order):
+            for offset in range(1, k + 1):
+                if rank - offset >= 0:
+                    graph.add_edge(int(item), int(order[rank - offset]),
+                                   weight=float(popularity[item] + 1))
+        return graph
+
+    def _select_power_items(self, count: int) -> np.ndarray:
+        graph = self._covisitation_graph()
+        centrality = nx.in_degree_centrality(graph)
+        popularity = self.env.item_popularity[:self.env.num_original_items]
+        ranked = sorted(centrality,
+                        key=lambda node: (-centrality[node],
+                                          -popularity[node], node))
+        return np.asarray(ranked[:count], dtype=np.int64)
+
+    def generate(self) -> List[List[int]]:
+        trajectories = []
+        targets = self.env.target_items
+        for _ in range(self.budget.num_attackers):
+            trajectory = []
+            for step in range(self.budget.trajectory_length):
+                if step % 2 == 0:
+                    trajectory.append(int(self.rng.choice(targets)))
+                else:
+                    trajectory.append(int(self.rng.choice(self.power_items)))
+            trajectories.append(trajectory)
+        return trajectories

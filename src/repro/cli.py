@@ -1,0 +1,151 @@
+"""Command-line interface for the PoisonRec reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro datasets --scale ci
+    python -m repro evaluate --dataset steam --ranker bpr
+    python -m repro attack --dataset steam --ranker itempop \
+        --method poisonrec --steps 10
+    python -m repro compare --dataset steam --ranker covisitation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .attacks import BASELINE_CLASSES
+from .core import PoisonRec
+from .data import DATASET_NAMES, load_dataset
+from .experiments import SCALES, build_environment, format_table, run_baseline
+from .recsys import RANKER_NAMES
+from .recsys.evaluation import evaluate_ranking, random_baseline_quality
+
+METHOD_CHOICES = tuple(BASELINE_CLASSES) + ("poisonrec",)
+ACTION_SPACE_CHOICES = ("plain", "bplain", "bcbt-popular", "bcbt-random")
+
+
+def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default="steam")
+    parser.add_argument("--ranker", choices=RANKER_NAMES, default="itempop")
+    parser.add_argument("--scale", choices=tuple(SCALES), default="ci")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PoisonRec (ICDE 2020) reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser(
+        "datasets", help="print Table II-style dataset statistics")
+    datasets.add_argument("--scale", choices=tuple(SCALES), default="ci")
+    datasets.add_argument("--seed", type=int, default=0)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="held-out ranking quality of one ranker")
+    _add_testbed_arguments(evaluate)
+
+    attack = subparsers.add_parser(
+        "attack", help="run one attack method against one testbed")
+    _add_testbed_arguments(attack)
+    attack.add_argument("--method", choices=METHOD_CHOICES,
+                        default="poisonrec")
+    attack.add_argument("--steps", type=int, default=None,
+                        help="PoisonRec training steps (default: per scale)")
+    attack.add_argument("--action-space", choices=ACTION_SPACE_CHOICES,
+                        default="bcbt-popular")
+
+    compare = subparsers.add_parser(
+        "compare", help="run every attack method against one testbed")
+    _add_testbed_arguments(compare)
+    compare.add_argument("--steps", type=int, default=None)
+    return parser
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """``datasets``: print Table II-style statistics."""
+    scale = SCALES[args.scale]
+    rows = []
+    for name in DATASET_NAMES:
+        stats = load_dataset(name, scale=scale.dataset_scale,
+                             seed=args.seed).statistics()
+        rows.append([name, stats["users"], stats["items"], stats["samples"]])
+    print(format_table(["dataset", "users", "items", "samples"], rows))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``evaluate``: held-out HR@k/NDCG@k of one ranker."""
+    scale = SCALES[args.scale]
+    dataset, system, _ = build_environment(args.dataset, args.ranker, scale,
+                                           seed=args.seed)
+    quality = evaluate_ranking(system.ranker, dataset, seed=args.seed)
+    random_hr = random_baseline_quality(dataset)
+    print(f"{args.ranker} on {args.dataset} ({args.scale}): {quality}")
+    print(f"random baseline: HR@{quality.k}={random_hr:.3f}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """``attack``: run one attack method on one testbed."""
+    scale = SCALES[args.scale]
+    _, system, env = build_environment(args.dataset, args.ranker, scale,
+                                       seed=args.seed)
+    clean = env.clean_recnum()
+    print(f"testbed: {args.dataset} / {args.ranker} ({args.scale}), "
+          f"clean RecNum = {clean}")
+    if args.method == "poisonrec":
+        agent = PoisonRec(env, scale.config(seed=args.seed),
+                          action_space=args.action_space)
+        steps = args.steps if args.steps is not None else scale.rl_steps
+        agent.train(steps, callback=lambda s: print(
+            f"  step {s.step:3d}: mean={s.mean_reward:8.1f} "
+            f"max={s.max_reward:6.0f}"))
+        print(f"poisonrec best RecNum: {agent.result.best_reward:.0f}")
+    else:
+        recnum = run_baseline(args.method, env, system, scale,
+                              seed=args.seed)
+        print(f"{args.method} RecNum: {recnum}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``compare``: run every attack method on one testbed."""
+    scale = SCALES[args.scale]
+    _, system, env = build_environment(args.dataset, args.ranker, scale,
+                                       seed=args.seed)
+    print(f"testbed: {args.dataset} / {args.ranker} ({args.scale}), "
+          f"clean RecNum = {env.clean_recnum()}")
+    rows = []
+    for method in BASELINE_CLASSES:
+        rows.append([method, run_baseline(method, env, system, scale,
+                                          seed=args.seed)])
+    agent = PoisonRec(env, scale.config(seed=args.seed))
+    steps = args.steps if args.steps is not None else scale.rl_steps
+    agent.train(steps)
+    rows.append(["poisonrec", int(agent.result.best_reward)])
+    rows.sort(key=lambda row: -row[1])
+    print(format_table(["method", "RecNum"], rows))
+    return 0
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "evaluate": cmd_evaluate,
+    "attack": cmd_attack,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

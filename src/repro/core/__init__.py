@@ -1,0 +1,23 @@
+"""PoisonRec core: MDP policy, action spaces, BCBT, PPO, attack agent."""
+
+from .action_space import (ACTION_SPACE_KINDS, ActionSpace, BPlainActionSpace,
+                           PlainActionSpace, StepSample, TreeActionSpace,
+                           make_action_space)
+from .agent import PoisonRec, StepStats, TrainResult
+from .bcbt import TreeArrays, build_bcbt
+from .config import PoisonRecConfig
+from .persistence import load_policy, save_policy
+from .policy import PolicyNetwork, Rollout
+from .ppo import Experience, PPOTrainer, normalize_rewards
+
+__all__ = [
+    "ACTION_SPACE_KINDS", "ActionSpace", "PlainActionSpace",
+    "BPlainActionSpace", "TreeActionSpace", "StepSample",
+    "make_action_space",
+    "PoisonRec", "StepStats", "TrainResult",
+    "TreeArrays", "build_bcbt",
+    "PoisonRecConfig",
+    "PolicyNetwork", "Rollout",
+    "Experience", "PPOTrainer", "normalize_rewards",
+    "save_policy", "load_policy",
+]

@@ -1,0 +1,151 @@
+"""The PoisonRec attack agent — Algorithm 1 of the paper.
+
+Ties together the black-box environment, the policy network, an action
+space and the PPO trainer.  Each training step samples ``M`` examples
+(each example = N complete trajectories injected into the system for one
+RecNum observation), then runs ``K`` PPO epochs over mini-batches of
+``B`` examples with normalized rewards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..recsys.system import BlackBoxEnvironment
+from .action_space import ActionSpace, make_action_space
+from .config import PoisonRecConfig
+from .policy import PolicyNetwork, Rollout
+from .ppo import Experience, PPOTrainer
+
+
+@dataclass
+class StepStats:
+    """Per-training-step telemetry."""
+
+    step: int
+    mean_reward: float
+    max_reward: float
+    losses: List[float]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    history: List[StepStats] = field(default_factory=list)
+    best_reward: float = float("-inf")
+    best_trajectories: Optional[List[List[int]]] = None
+
+    @property
+    def mean_rewards(self) -> List[float]:
+        return [s.mean_reward for s in self.history]
+
+    @property
+    def max_rewards(self) -> List[float]:
+        return [s.max_reward for s in self.history]
+
+
+class PoisonRec:
+    """Adaptive data-poisoning attack agent (the paper's framework).
+
+    Parameters
+    ----------
+    env:
+        The black-box recommender environment to attack.
+    config:
+        Algorithm and network hyper-parameters.
+    action_space:
+        ``"plain"``, ``"bplain"``, ``"bcbt-popular"`` (default, the
+        paper's full method) or ``"bcbt-random"``; alternatively an
+        already-built :class:`ActionSpace`.
+    """
+
+    def __init__(self, env: BlackBoxEnvironment,
+                 config: Optional[PoisonRecConfig] = None,
+                 action_space: str | ActionSpace = "bcbt-popular") -> None:
+        self.env = env
+        self.config = config or PoisonRecConfig()
+        if isinstance(action_space, str):
+            action_space = make_action_space(
+                action_space, env.num_original_items, env.target_items,
+                env.item_popularity, seed=self.config.seed)
+        self.action_space = action_space
+        self.policy = PolicyNetwork(action_space,
+                                    self.config.num_attackers,
+                                    dim=self.config.embedding_dim,
+                                    seed=self.config.seed)
+        self.trainer = PPOTrainer(self.policy,
+                                  learning_rate=self.config.learning_rate,
+                                  clip_epsilon=self.config.clip_epsilon,
+                                  grad_clip=self.config.grad_clip,
+                                  seed=self.config.seed + 1)
+        self.rng = np.random.default_rng(self.config.seed + 2)
+        self.result = TrainResult()
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    def sample_attack(self) -> Rollout:
+        """Sample one set of N trajectories from the current policy."""
+        return self.policy.sample_rollout(self.config.trajectory_length,
+                                          self.rng)
+
+    def greedy_attack(self) -> Rollout:
+        """The policy's deterministic mode (argmax at every decision).
+
+        Useful for deploying a trained strategy: unlike
+        :meth:`sample_attack` it returns the same trajectories every call.
+        """
+        return self.policy.sample_rollout(self.config.trajectory_length,
+                                          rng=None)
+
+    def train_step(self) -> StepStats:
+        """One iteration of Algorithm 1's outer loop."""
+        cfg = self.config
+        experiences: List[Experience] = []
+        for _ in range(cfg.samples_per_step):
+            rollout = self.sample_attack()
+            reward = float(self.env.attack(rollout.trajectories()))
+            experiences.append(Experience(rollout=rollout, reward=reward))
+            if reward > self.result.best_reward:
+                self.result.best_reward = reward
+                self.result.best_trajectories = rollout.trajectories()
+        losses = self.trainer.update(experiences, epochs=cfg.ppo_epochs,
+                                     batch_size=cfg.batch_size)
+        rewards = [e.reward for e in experiences]
+        stats = StepStats(step=self._step,
+                          mean_reward=float(np.mean(rewards)),
+                          max_reward=float(np.max(rewards)), losses=losses)
+        self.result.history.append(stats)
+        self._step += 1
+        return stats
+
+    def train(self, steps: int,
+              callback: Optional[Callable[[StepStats], None]] = None
+              ) -> TrainResult:
+        """Run ``steps`` training iterations; returns the accumulated result."""
+        for _ in range(steps):
+            stats = self.train_step()
+            if callback is not None:
+                callback(stats)
+        return self.result
+
+    # ------------------------------------------------------------------
+    def evaluate(self, num_samples: int = 4) -> float:
+        """Mean RecNum of attacks sampled from the current policy."""
+        rewards = [float(self.env.attack(self.sample_attack().trajectories()))
+                   for _ in range(num_samples)]
+        return float(np.mean(rewards))
+
+    def target_click_ratio(self, num_samples: int = 8) -> float:
+        """Fraction of sampled clicks that land on target items (Figure 5)."""
+        total = 0
+        on_target = 0
+        threshold = self.env.num_original_items
+        for _ in range(num_samples):
+            items = self.sample_attack().items
+            total += items.size
+            on_target += int((items >= threshold).sum())
+        return on_target / max(total, 1)

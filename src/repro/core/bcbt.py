@@ -1,0 +1,194 @@
+"""Biased Complete Binary Tree (BCBT) — the paper's action-space optimization.
+
+The BCBT reformulates item sampling (Section III-E):
+
+* **Priori knowledge** — the root first chooses between the target-item
+  subtree and the original-item subtree, giving targets ~0.5 sampling
+  probability at initialization instead of ``|I_t| / (|I| + |I_t|)``.
+* **Hierarchical structure** — each subtree is a complete binary tree whose
+  leaves are real items; sampling walks root-to-leaf in ``O(log |I|)``
+  two-way decisions instead of one ``O(|I|)`` softmax.
+* **Assumption 1** — leaves are assigned items *sorted by popularity* so
+  that items with close popularity share more ancestors (BCBT-Popular);
+  BCBT-Random shuffles the assignment to test the assumption.
+
+Node ids double as feature-table rows: leaf node ids are the item ids
+themselves (``[0, num_items)``); internal node ids are
+``num_items + j``.  The policy's feature table therefore holds item
+embeddings first and internal-node embeddings after them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TreeArrays:
+    """Flat representation of the BCBT.
+
+    ``left_child`` / ``right_child`` are indexed by *internal index* ``j``
+    (the node id is ``num_items + j``) and hold child node ids.
+    """
+
+    num_items: int
+    root: int
+    left_child: np.ndarray
+    right_child: np.ndarray
+
+    @property
+    def num_internal(self) -> int:
+        return len(self.left_child)
+
+    def is_leaf(self, node_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which node ids are leaves (real items)."""
+        return np.asarray(node_ids) < self.num_items
+
+    def children(self, node_ids: np.ndarray) -> tuple:
+        """``(left, right)`` child node ids of internal ``node_ids``."""
+        internal = np.asarray(node_ids) - self.num_items
+        return self.left_child[internal], self.right_child[internal]
+
+    def max_depth(self) -> int:
+        """Length of the longest root-to-leaf path (number of decisions)."""
+        depth = 0
+        frontier = [self.root]
+        while frontier:
+            if all(node < self.num_items for node in frontier):
+                break
+            depth += 1
+            next_frontier: List[int] = []
+            for node in frontier:
+                if node >= self.num_items:
+                    j = node - self.num_items
+                    next_frontier.append(int(self.left_child[j]))
+                    next_frontier.append(int(self.right_child[j]))
+            frontier = next_frontier
+        return depth
+
+    def leaves_in_order(self) -> List[int]:
+        """Leaf item ids in left-to-right (in-order DFS) order."""
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node < self.num_items:
+                order.append(int(node))
+            else:
+                j = node - self.num_items
+                stack.append(int(self.right_child[j]))
+                stack.append(int(self.left_child[j]))
+        return order
+
+
+class _TreeBuilder:
+    """Accumulates internal nodes while composing subtrees."""
+
+    def __init__(self, num_items: int) -> None:
+        self.num_items = num_items
+        self.left: List[int] = []
+        self.right: List[int] = []
+
+    def internal(self, left: int, right: int) -> int:
+        node_id = self.num_items + len(self.left)
+        self.left.append(left)
+        self.right.append(right)
+        return node_id
+
+    def complete_tree(self, items: Sequence[int]) -> int:
+        """Build a complete binary tree over ``items``; returns its root id.
+
+        The shape is the heap shape over ``2n - 1`` local nodes (all layers
+        full except the last, which is left-aligned) — every internal node
+        has exactly two children and the ``n`` childless nodes are the
+        leaves.  Items are assigned to leaves in the tree's left-to-right
+        (in-order) spatial order, so consecutive items share the most
+        ancestors — the property Assumption 1 relies on.
+        """
+        n = len(items)
+        if n == 0:
+            raise ValueError("cannot build a tree over zero items")
+        if n == 1:
+            return int(items[0])
+        size = 2 * n - 1  # heap-shaped: local internal 0..n-2, leaves n-1..
+
+        # In-order traversal collects leaf local-indices left-to-right.
+        leaf_order: List[int] = []
+        stack: List[int] = []
+        current: int | None = 0
+        while stack or current is not None:
+            while current is not None:
+                stack.append(current)
+                left = 2 * current + 1
+                current = left if left < size else None
+            current = stack.pop()
+            if 2 * current + 1 >= size:
+                leaf_order.append(current)
+            right = 2 * current + 2
+            current = right if right < size else None
+
+        item_of_leaf = {local: int(items[pos])
+                        for pos, local in enumerate(leaf_order)}
+        # Materialize internal nodes bottom-up so children exist first.
+        node_id: dict[int, int] = dict(item_of_leaf)
+        for local in range(n - 2, -1, -1):
+            node_id[local] = self.internal(node_id[2 * local + 1],
+                                           node_id[2 * local + 2])
+        return node_id[0]
+
+
+def _sorted_by_popularity(items: np.ndarray,
+                          popularity: np.ndarray) -> np.ndarray:
+    """Items sorted by descending popularity (ties by id, deterministic)."""
+    items = np.asarray(items, dtype=np.int64)
+    order = np.lexsort((items, -popularity[items]))
+    return items[order]
+
+
+def build_bcbt(num_original_items: int, target_items: np.ndarray,
+               popularity: np.ndarray, assignment: str = "popular",
+               rng: np.random.Generator | None = None) -> TreeArrays:
+    """Construct the merged BCBT (Section III-E1).
+
+    Parameters
+    ----------
+    num_original_items:
+        ``|I|`` — originals occupy item ids ``[0, num_original_items)``.
+    target_items:
+        The target item ids ``I_t`` (typically appended after originals).
+    popularity:
+        Crawled click counts over the whole item universe; drives the
+        leaf assignment under Assumption 1.
+    assignment:
+        ``"popular"`` (sorted leaves, the paper's BCBT-Popular) or
+        ``"random"`` (shuffled leaves, the ablation BCBT-Random).
+    """
+    target_items = np.asarray(target_items, dtype=np.int64)
+    originals = np.setdiff1d(np.arange(num_original_items + len(target_items),
+                                       dtype=np.int64), target_items)
+    num_items = num_original_items + len(target_items)
+
+    if assignment == "popular":
+        original_leaves = _sorted_by_popularity(originals, popularity)
+        target_leaves = _sorted_by_popularity(target_items, popularity)
+    elif assignment == "random":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        original_leaves = rng.permutation(originals)
+        target_leaves = rng.permutation(target_items)
+    else:
+        raise ValueError(
+            f"unknown assignment {assignment!r}; use 'popular' or 'random'")
+
+    builder = _TreeBuilder(num_items)
+    target_root = builder.complete_tree(list(target_leaves))
+    original_root = builder.complete_tree(list(original_leaves))
+    # Priori knowledge: the new root puts I_t and I side by side, biasing
+    # target sampling probability to ~0.5 at initialization.
+    root = builder.internal(target_root, original_root)
+    return TreeArrays(num_items=num_items, root=root,
+                      left_child=np.asarray(builder.left, dtype=np.int64),
+                      right_child=np.asarray(builder.right, dtype=np.int64))

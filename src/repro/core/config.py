@@ -1,0 +1,55 @@
+"""Configuration for the PoisonRec attack framework.
+
+Defaults follow the paper's Implementation Details (Section IV-A):
+layer size 64, Adam with lr 2e-3, M=B=32, K=3, N=20 attackers, T=20
+clicks per trajectory, PPO clip epsilon 0.1, discount gamma=1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PoisonRecConfig:
+    """Hyper-parameters of Algorithm 1 and the policy network."""
+
+    #: N — number of attacker accounts (each contributes one trajectory).
+    num_attackers: int = 20
+    #: T — clicks per attack trajectory.
+    trajectory_length: int = 20
+    #: |e| — embedding size; also every LSTM/DNN layer width (paper: 64).
+    embedding_dim: int = 64
+    #: M — sampled training examples (env interactions) per training step.
+    samples_per_step: int = 32
+    #: B — PPO mini-batch size (B <= M).
+    batch_size: int = 32
+    #: K — PPO epochs per training step.
+    ppo_epochs: int = 3
+    #: Adam learning rate (paper: 2e-3).
+    learning_rate: float = 2e-3
+    #: PPO clipped-surrogate epsilon (paper: 0.1).
+    clip_epsilon: float = 0.1
+    #: Global gradient-norm clip for the policy update.
+    grad_clip: float = 5.0
+    #: RNG seed for policy init and trajectory sampling.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_attackers <= 0:
+            raise ValueError("num_attackers must be positive")
+        if self.trajectory_length <= 0:
+            raise ValueError("trajectory_length must be positive")
+        if self.batch_size > self.samples_per_step:
+            raise ValueError("batch_size B must not exceed samples_per_step M")
+        if not 0.0 < self.clip_epsilon < 1.0:
+            raise ValueError("clip_epsilon must be in (0, 1)")
+
+    @classmethod
+    def ci(cls, **overrides) -> "PoisonRecConfig":
+        """A scaled-down preset for tests and CI-speed benchmarks."""
+        defaults = dict(num_attackers=8, trajectory_length=8,
+                        embedding_dim=16, samples_per_step=8, batch_size=8,
+                        ppo_epochs=2)
+        defaults.update(overrides)
+        return cls(**defaults)

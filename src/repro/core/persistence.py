@@ -1,0 +1,75 @@
+"""Saving and loading trained PoisonRec policies.
+
+Stores all policy parameters plus the identifying metadata (action-space
+kind, dimensions) in a single ``.npz`` archive, so a learned attack
+strategy can be reused or inspected without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .agent import PoisonRec
+from .policy import PolicyNetwork
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_policy(agent: PoisonRec, path: PathLike) -> None:
+    """Serialize the agent's policy parameters to ``path`` (.npz)."""
+    policy = agent.policy
+    arrays = {f"param_{i}": p.data for i, p in enumerate(policy.parameters())}
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "action_space": getattr(agent.action_space, "name", "plain"),
+        "num_items": agent.action_space.num_items,
+        "num_original_items": agent.action_space.num_original_items,
+        "num_attackers": policy.num_attackers,
+        "dim": policy.dim,
+        "best_reward": agent.result.best_reward,
+    }
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_policy(agent: PoisonRec, path: PathLike) -> dict:
+    """Load parameters saved by :func:`save_policy` into ``agent``.
+
+    The agent must have been constructed with a matching configuration
+    (same action space kind, item universe, attacker count and embedding
+    dim); mismatches raise ``ValueError``.  Returns the stored metadata.
+    """
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["metadata"]).decode())
+        _check_compatible(agent.policy, agent, metadata)
+        params = list(agent.policy.parameters())
+        for i, param in enumerate(params):
+            stored = archive[f"param_{i}"]
+            if stored.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: saved {stored.shape}, "
+                    f"agent has {param.data.shape}")
+            param.data = stored.copy()
+    return metadata
+
+
+def _check_compatible(policy: PolicyNetwork, agent: PoisonRec,
+                      metadata: dict) -> None:
+    checks = {
+        "action_space": getattr(agent.action_space, "name", "plain"),
+        "num_items": agent.action_space.num_items,
+        "num_attackers": policy.num_attackers,
+        "dim": policy.dim,
+    }
+    for key, expected in checks.items():
+        if metadata.get(key) != expected:
+            raise ValueError(
+                f"saved policy has {key}={metadata.get(key)!r}, agent "
+                f"expects {expected!r}")

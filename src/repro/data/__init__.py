@@ -1,0 +1,16 @@
+"""Data substrate: interaction logs, synthetic datasets, splits, popularity."""
+
+from .interactions import Dataset, InteractionLog
+from .popularity import (item_popularity, popularity_rank, top_percent_items,
+                         zipf_weights)
+from .splits import leave_one_out_split
+from .synthetic import (DATASET_NAMES, PAPER_SPECS, SCALE_FACTORS, DatasetSpec,
+                        generate_log, load_dataset, scaled_spec)
+
+__all__ = [
+    "Dataset", "InteractionLog",
+    "item_popularity", "popularity_rank", "top_percent_items", "zipf_weights",
+    "leave_one_out_split",
+    "DatasetSpec", "PAPER_SPECS", "SCALE_FACTORS", "DATASET_NAMES",
+    "generate_log", "load_dataset", "scaled_spec",
+]

@@ -1,0 +1,156 @@
+"""Core data structures for implicit-feedback interaction logs.
+
+The recommender systems in this reproduction consume an
+:class:`InteractionLog`: an ordered sequence of item clicks per user.
+Ordering matters — CoVisitation and GRU4Rec exploit consecutive behaviors,
+exactly as in the paper's sequential datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+class InteractionLog:
+    """Ordered per-user click sequences over a fixed item universe.
+
+    Parameters
+    ----------
+    num_items:
+        Size of the item universe.  Items are integer ids in
+        ``[0, num_items)``; this includes any appended target items.
+    """
+
+    def __init__(self, num_items: int) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        self.num_items = num_items
+        self._sequences: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, user: int, item: int) -> None:
+        """Append a single click to ``user``'s sequence."""
+        if not 0 <= item < self.num_items:
+            raise ValueError(
+                f"item {item} outside universe [0, {self.num_items})")
+        self._sequences.setdefault(user, []).append(item)
+
+    def add_sequence(self, user: int, items: Sequence[int]) -> None:
+        """Append an entire click sequence for ``user``."""
+        for item in items:
+            self.add(user, item)
+
+    def copy(self) -> "InteractionLog":
+        """Deep copy of the log (independent sequences)."""
+        clone = InteractionLog(self.num_items)
+        clone._sequences = {u: list(seq) for u, seq in self._sequences.items()}
+        return clone
+
+    def merged_with(self, other: "InteractionLog") -> "InteractionLog":
+        """Return a new log combining both logs' sequences.
+
+        Shared user ids have the other log's clicks appended after this
+        log's clicks (injection order), matching how poison data lands in a
+        live system's history log.
+        """
+        if other.num_items != self.num_items:
+            raise ValueError("cannot merge logs over different item universes")
+        merged = self.copy()
+        for user, seq in other._sequences.items():
+            merged.add_sequence(user, seq)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> List[int]:
+        return sorted(self._sequences)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def num_interactions(self) -> int:
+        return sum(len(seq) for seq in self._sequences.values())
+
+    def sequence(self, user: int) -> List[int]:
+        """The click sequence of ``user`` (empty list if unknown)."""
+        return list(self._sequences.get(user, ()))
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._sequences
+
+    def iter_sequences(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(user, sequence)`` pairs in ascending user order."""
+        for user in self.users:
+            yield user, self._sequences[user]
+
+    def pairs(self) -> np.ndarray:
+        """All (user, item) pairs as an ``(n, 2)`` int array."""
+        rows = [(u, i) for u, seq in self._sequences.items() for i in seq]
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def item_counts(self) -> np.ndarray:
+        """Per-item click counts (the popularity signal attackers can crawl)."""
+        counts = np.zeros(self.num_items, dtype=np.int64)
+        for seq in self._sequences.values():
+            np.add.at(counts, np.asarray(seq, dtype=np.int64), 1)
+        return counts
+
+    def to_implicit_matrix(self, num_users: int | None = None) -> np.ndarray:
+        """Dense 0/1 user-item matrix (small scales only; used by AutoRec)."""
+        users = self.users
+        n_users = num_users if num_users is not None else (
+            (max(users) + 1) if users else 0)
+        matrix = np.zeros((n_users, self.num_items))
+        for user, seq in self._sequences.items():
+            if user < n_users:
+                matrix[user, seq] = 1.0
+        return matrix
+
+    def __repr__(self) -> str:
+        return (f"InteractionLog(users={self.num_users}, "
+                f"items={self.num_items}, "
+                f"interactions={self.num_interactions})")
+
+
+@dataclass
+class Dataset:
+    """A named dataset with leave-one-out splits.
+
+    ``train`` holds each user's sequence minus the final two clicks,
+    ``validation`` / ``test`` hold the held-out second-to-last / last click
+    per user (the paper's protocol, Section IV-A).
+    """
+
+    name: str
+    train: InteractionLog
+    validation: Dict[int, int] = field(default_factory=dict)
+    test: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_items(self) -> int:
+        return self.train.num_items
+
+    @property
+    def num_users(self) -> int:
+        return self.train.num_users
+
+    def statistics(self) -> Dict[str, int]:
+        """Table II-style statistics over the full (pre-split) data."""
+        total = (self.train.num_interactions + len(self.validation)
+                 + len(self.test))
+        return {
+            "users": self.num_users,
+            "items": self.num_items,
+            "samples": total,
+        }

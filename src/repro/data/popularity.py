@@ -1,0 +1,59 @@
+"""Item-popularity utilities.
+
+Popularity is the one piece of background knowledge the paper grants
+attackers ("attackers can only crawl basic item information like ... item
+popularity").  Both the heuristic baselines and the BCBT construction
+consume the arrays produced here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .interactions import InteractionLog
+
+
+def item_popularity(log: InteractionLog) -> np.ndarray:
+    """Click counts per item over the entire log."""
+    return log.item_counts()
+
+
+def popularity_rank(popularity: np.ndarray) -> np.ndarray:
+    """Item ids sorted by descending popularity (ties broken by id)."""
+    popularity = np.asarray(popularity)
+    # argsort on (-pop, id): stable sort on id then stable sort on -pop.
+    order = np.argsort(popularity, kind="stable")[::-1]
+    # Reverse of a stable ascending sort breaks ties by descending id;
+    # re-sort ties ascending for determinism.
+    result = []
+    i = 0
+    while i < len(order):
+        j = i
+        value = popularity[order[i]]
+        while j < len(order) and popularity[order[j]] == value:
+            j += 1
+        result.extend(sorted(order[i:j].tolist()))
+        i = j
+    return np.asarray(result, dtype=np.int64)
+
+
+def top_percent_items(popularity: np.ndarray, percent: float) -> np.ndarray:
+    """Ids of the most popular ``percent``% of items (at least one item).
+
+    The paper's Popular Attack uses the top k% (k=10) as the popular set
+    ``I_p``.
+    """
+    if not 0.0 < percent <= 100.0:
+        raise ValueError("percent must be in (0, 100]")
+    ranked = popularity_rank(popularity)
+    count = max(1, int(round(len(ranked) * percent / 100.0)))
+    return ranked[:count]
+
+
+def zipf_weights(num_items: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf distribution over ``num_items`` ranks."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()

@@ -1,0 +1,11 @@
+"""Experiment harness: scales, testbed builders, table formatting."""
+
+from .runner import (SCALES, ExperimentScale, build_environment,
+                     resolve_scale, run_baseline, run_poisonrec)
+from .tables import format_series, format_table
+
+__all__ = [
+    "SCALES", "ExperimentScale", "build_environment", "resolve_scale",
+    "run_baseline", "run_poisonrec",
+    "format_table", "format_series",
+]

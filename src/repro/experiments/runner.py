@@ -1,0 +1,116 @@
+"""Shared experiment harness for all tables and figures.
+
+Every benchmark resolves an :class:`ExperimentScale` (from the
+``REPRO_SCALE`` environment variable, default ``ci``) that fixes the
+dataset size, the PoisonRec budget and the baseline query budgets, so the
+whole evaluation grid runs in seconds at ``ci`` and approaches the paper's
+setup at ``paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..attacks import BASELINE_CLASSES, AttackBudget
+from ..core import PoisonRec, PoisonRecConfig, TrainResult
+from ..data import Dataset, load_dataset
+from ..recsys import BlackBoxEnvironment, RecommenderSystem
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All scale-dependent knobs for one experiment tier."""
+
+    name: str
+    dataset_scale: str
+    embedding_dim: int
+    num_attackers: int
+    trajectory_length: int
+    samples_per_step: int
+    batch_size: int
+    ppo_epochs: int
+    rl_steps: int
+    appgrad_iterations: int
+    eval_user_sample: Optional[int] = None
+
+    def config(self, seed: int = 0) -> PoisonRecConfig:
+        """PoisonRec configuration at this scale."""
+        return PoisonRecConfig(
+            num_attackers=self.num_attackers,
+            trajectory_length=self.trajectory_length,
+            embedding_dim=self.embedding_dim,
+            samples_per_step=self.samples_per_step,
+            batch_size=self.batch_size,
+            ppo_epochs=self.ppo_epochs,
+            seed=seed,
+        )
+
+    def budget(self) -> AttackBudget:
+        """Baseline attack budget (same N and T as PoisonRec)."""
+        return AttackBudget(self.num_attackers, self.trajectory_length)
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "ci": ExperimentScale(
+        name="ci", dataset_scale="ci", embedding_dim=16,
+        num_attackers=20, trajectory_length=20, samples_per_step=8,
+        batch_size=8, ppo_epochs=2, rl_steps=20, appgrad_iterations=20),
+    "small": ExperimentScale(
+        name="small", dataset_scale="small", embedding_dim=32,
+        num_attackers=20, trajectory_length=20, samples_per_step=16,
+        batch_size=16, ppo_epochs=3, rl_steps=40, appgrad_iterations=40,
+        eval_user_sample=400),
+    "paper": ExperimentScale(
+        name="paper", dataset_scale="paper", embedding_dim=64,
+        num_attackers=20, trajectory_length=20, samples_per_step=32,
+        batch_size=32, ppo_epochs=3, rl_steps=200, appgrad_iterations=200,
+        eval_user_sample=1000),
+}
+
+
+def resolve_scale(name: Optional[str] = None) -> ExperimentScale:
+    """Scale from an explicit name or the ``REPRO_SCALE`` env var."""
+    chosen = name or os.environ.get("REPRO_SCALE", "ci")
+    try:
+        return SCALES[chosen]
+    except KeyError:
+        raise ValueError(f"unknown scale {chosen!r}; "
+                         f"expected one of {sorted(SCALES)}") from None
+
+
+def build_environment(dataset_name: str, ranker_name: str,
+                      scale: ExperimentScale, seed: int = 0
+                      ) -> Tuple[Dataset, RecommenderSystem,
+                                 BlackBoxEnvironment]:
+    """Dataset + recommender system + black-box facade for one testbed."""
+    dataset = load_dataset(dataset_name, scale=scale.dataset_scale, seed=seed)
+    system = RecommenderSystem(dataset, ranker_name, seed=seed,
+                               num_attackers=scale.num_attackers,
+                               eval_user_sample=scale.eval_user_sample)
+    return dataset, system, BlackBoxEnvironment(system)
+
+
+def run_baseline(method: str, env: BlackBoxEnvironment,
+                 system: RecommenderSystem, scale: ExperimentScale,
+                 seed: int = 0) -> int:
+    """Execute one Table III baseline; returns its RecNum."""
+    cls = BASELINE_CLASSES[method]
+    kwargs = {}
+    if method == "conslop":
+        # Privileged baseline: gets the system log (as in the paper).
+        kwargs["system_log"] = system.clean_log
+    if method == "appgrad":
+        kwargs["iterations"] = scale.appgrad_iterations
+    attack = cls(env, scale.budget(), seed=seed, **kwargs)
+    return attack.run().recnum
+
+
+def run_poisonrec(env: BlackBoxEnvironment, scale: ExperimentScale,
+                  seed: int = 0, action_space: str = "bcbt-popular",
+                  steps: Optional[int] = None) -> TrainResult:
+    """Train PoisonRec on one testbed; returns the training result."""
+    agent = PoisonRec(env, scale.config(seed=seed),
+                      action_space=action_space)
+    return agent.train(steps if steps is not None else scale.rl_steps)

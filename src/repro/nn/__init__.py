@@ -1,0 +1,16 @@
+"""Pure-numpy neural substrate: autograd tensors, layers, RNN cells, optimizers."""
+
+from . import functional
+from .init import normal, xavier_uniform, zeros
+from .layers import MLP, Dense, Embedding, Module
+from .lstm import GRU, GRUCell, LSTM, LSTMCell
+from .optim import SGD, Adam, Optimizer
+from .tensor import Tensor, as_tensor, concatenate, stack, unbroadcast
+
+__all__ = [
+    "Tensor", "as_tensor", "concatenate", "stack", "unbroadcast",
+    "functional", "Module", "Dense", "Embedding", "MLP",
+    "LSTM", "LSTMCell", "GRU", "GRUCell",
+    "Optimizer", "SGD", "Adam",
+    "xavier_uniform", "normal", "zeros",
+]

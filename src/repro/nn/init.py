@@ -1,0 +1,23 @@
+"""Weight initializers for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int,
+                   fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def normal(rng: np.random.Generator, shape: tuple,
+           std: float = 0.01) -> np.ndarray:
+    """Zero-mean Gaussian initialization, the paper's default for embeddings."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,127 @@
+"""Composable neural-network layers built on the autograd :class:`Tensor`.
+
+Provides the small set of modules the reproduction needs: parameter
+registration (:class:`Module`), affine layers (:class:`Dense`), lookup
+tables (:class:`Embedding`) and stacked ReLU networks (:class:`MLP` — the
+paper's two-layer DNN head is an ``MLP`` with ReLU activations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Subclasses assign :class:`Tensor` parameters (``requires_grad=True``)
+    or other :class:`Module` instances as attributes; :meth:`parameters`
+    walks both.
+    """
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable tensor in this module tree (deduplicated)."""
+        seen: set[int] = set()
+        for value in vars(self).values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                for param in value.parameters():
+                    if id(param) not in seen:
+                        seen.add(id(param))
+                        yield param
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Module):
+                        for param in element.parameters():
+                            if id(param) not in seen:
+                                seen.add(id(param))
+                                yield param
+                    elif isinstance(element, Tensor) and element.requires_grad:
+                        if id(element) not in seen:
+                            seen.add(id(element))
+                            yield element
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter in the tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in this module tree."""
+        return sum(p.size for p in self.parameters())
+
+
+class Dense(Module):
+    """Affine layer ``y = x W + b`` with optional activation."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator, activation: str = "linear",
+                 bias: bool = True) -> None:
+        self.weight = Tensor(init.xavier_uniform(rng, in_dim, out_dim),
+                             requires_grad=True, name="dense.weight")
+        self.bias = (Tensor(init.zeros((out_dim,)), requires_grad=True,
+                            name="dense.bias") if bias else None)
+        if activation not in ("linear", "relu", "sigmoid", "tanh"):
+            raise ValueError(f"unknown activation: {activation!r}")
+        self.activation = activation
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        if self.activation == "relu":
+            return F.relu(out)
+        if self.activation == "sigmoid":
+            return F.sigmoid(out)
+        if self.activation == "tanh":
+            return F.tanh(out)
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator, std: float = 0.05) -> None:
+        self.weight = Tensor(init.normal(rng, (num_embeddings, dim), std=std),
+                             requires_grad=True, name="embedding.weight")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+
+    def __call__(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        return self.weight[ids]
+
+
+class MLP(Module):
+    """Stack of :class:`Dense` layers.
+
+    ``dims = [in, h1, ..., out]``; every layer but the last uses
+    ``hidden_activation``, the last uses ``out_activation``.
+    """
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 hidden_activation: str = "relu",
+                 out_activation: str = "linear") -> None:
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dim")
+        self.layers = [
+            Dense(dims[i], dims[i + 1], rng,
+                  activation=(hidden_activation if i < len(dims) - 2
+                              else out_activation))
+            for i in range(len(dims) - 1)
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,104 @@
+"""Gradient-descent optimizers for the numpy neural substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+        Returns the pre-clip norm.
+        """
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0.0:
+            scale = max_norm / norm
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional L2 weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        """One SGD step: ``p -= lr * (grad + wd * p)``."""
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer — the paper uses Adam with lr=2e-3 for PoisonRec."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 2e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._t = 0
+
+    def step(self) -> None:
+        """One bias-corrected Adam step."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(param.data)
+                self._v[i] = np.zeros_like(param.data)
+            m = self._m[i]
+            v = self._v[i]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,29 @@
+"""Recommender-system substrate: 8 rankers, candidate generation, environment."""
+
+from .autorec import AutoRec
+from .base import Ranker, sample_negatives
+from .bpr import BPR
+from .candidate import (CandidateGenerator, ModelCandidateGenerator,
+                        PopularityCandidateGenerator,
+                        RandomCandidateGenerator)
+from .covisitation import CoVisitation
+from .evaluation import (RankingQuality, evaluate_ranking,
+                         random_baseline_quality)
+from .gru4rec import GRU4Rec
+from .itempop import ItemPop
+from .neumf import NeuMF
+from .ngcf import NGCF
+from .pmf import PMF
+from .registry import RANKER_CLASSES, RANKER_NAMES, make_ranker
+from .system import BlackBoxEnvironment, RecommenderSystem
+
+__all__ = [
+    "Ranker", "sample_negatives",
+    "ItemPop", "CoVisitation", "PMF", "BPR", "NeuMF", "AutoRec", "GRU4Rec",
+    "NGCF",
+    "RANKER_CLASSES", "RANKER_NAMES", "make_ranker",
+    "CandidateGenerator", "RandomCandidateGenerator",
+    "PopularityCandidateGenerator", "ModelCandidateGenerator",
+    "RecommenderSystem", "BlackBoxEnvironment",
+    "RankingQuality", "evaluate_ranking", "random_baseline_quality",
+]

@@ -1,0 +1,134 @@
+"""AutoRec: autoencoder collaborative filtering (Sedhain et al., WWW 2015).
+
+U-AutoRec over the implicit user-item matrix: each user's binary click row
+is encoded by a sigmoid hidden layer and decoded back to scores over every
+item.  For implicit feedback the reconstruction loss is *weighted* — the
+all-ones degenerate solution is avoided by giving unobserved entries a
+small positive weight (the WRMF-style confidence trick).
+
+The user-item matrix is never materialized: click profiles are stored as
+per-user item sets and densified per batch, so the model scales to the
+paper-size catalogs (a dense Phone-scale matrix would be gigabytes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+import numpy as np
+
+from ..data.interactions import InteractionLog
+from ..nn import Adam, Dense, Module, Tensor
+from ..nn import functional as F
+from .base import Ranker
+
+
+class _AutoRecNet(Module):
+    def __init__(self, num_items: int, hidden: int,
+                 rng: np.random.Generator) -> None:
+        self.encoder = Dense(num_items, hidden, rng, activation="sigmoid")
+        self.decoder = Dense(hidden, num_items, rng)
+
+    def __call__(self, rows: Tensor) -> Tensor:
+        return self.decoder(self.encoder(rows))
+
+
+class AutoRec(Ranker):
+    """U-AutoRec ranker over the implicit matrix."""
+
+    name = "autorec"
+
+    def __init__(self, num_users: int, num_items: int, seed: int = 0,
+                 hidden: int = 32, lr: float = 0.01, epochs: int = 6,
+                 update_epochs: int = 3, negative_weight: float = 0.1,
+                 batch_size: int = 128) -> None:
+        super().__init__(num_users, num_items, seed)
+        self.hidden = hidden
+        self.lr = lr
+        self.epochs = epochs
+        self.update_epochs = update_epochs
+        self.negative_weight = negative_weight
+        self.batch_size = batch_size
+        self._build()
+        self._user_items: Dict[int, Set[int]] = {}
+
+    def _build(self) -> None:
+        self.net = _AutoRecNet(self.num_items, self.hidden, self.rng)
+        self.optimizer = Adam(list(self.net.parameters()), lr=self.lr)
+
+    # ------------------------------------------------------------------
+    def _profiles_from(self, log: InteractionLog) -> Dict[int, Set[int]]:
+        return {user: set(seq) for user, seq in log.iter_sequences()}
+
+    def _rows(self, users: np.ndarray) -> np.ndarray:
+        """Densify the click profiles of ``users`` (batch-sized only)."""
+        rows = np.zeros((len(users), self.num_items))
+        for i, user in enumerate(users):
+            items = self._user_items.get(int(user))
+            if items:
+                rows[i, list(items)] = 1.0
+        return rows
+
+    def _train(self, user_ids: np.ndarray, epochs: int) -> None:
+        user_ids = np.asarray(
+            [u for u in user_ids if self._user_items.get(int(u))],
+            dtype=np.int64)
+        if len(user_ids) == 0:
+            return
+        for _ in range(epochs):
+            order = self.rng.permutation(user_ids)
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                x = self._rows(batch)
+                weights = np.where(x > 0, 1.0, self.negative_weight)
+                self.optimizer.zero_grad()
+                recon = self.net(Tensor(x))
+                loss = F.mse_loss(recon, x, weight=weights)
+                loss.backward()
+                self.optimizer.step()
+
+    # ------------------------------------------------------------------
+    def fit(self, log: InteractionLog) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self._build()
+        self._user_items = self._profiles_from(log)
+        self._train(np.fromiter(self._user_items, dtype=np.int64),
+                    self.epochs)
+
+    def poison_update(self, log: InteractionLog,
+                      poison: InteractionLog) -> None:
+        self._user_items = self._profiles_from(log)
+        poison_rows = np.asarray(poison.users, dtype=np.int64)
+        replay_pool = np.asarray(
+            [u for u in self._user_items if u not in poison],
+            dtype=np.int64)
+        replay = self.rng.choice(
+            replay_pool,
+            size=min(len(replay_pool), 4 * max(len(poison_rows), 16)),
+            replace=False) if len(replay_pool) else replay_pool
+        self._train(np.concatenate([poison_rows, replay]),
+                    self.update_epochs)
+
+    # ------------------------------------------------------------------
+    def _reconstruct(self, users: np.ndarray) -> np.ndarray:
+        """Decoder output rows for ``users`` (score source)."""
+        return self.net(Tensor(self._rows(users))).numpy()
+
+    def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        recon = self._reconstruct(np.array([user]))[0]
+        return recon[np.asarray(item_ids, dtype=np.int64)]
+
+    def score_batch(self, users: np.ndarray,
+                    candidates: np.ndarray) -> np.ndarray:
+        recon = self._reconstruct(np.asarray(users, dtype=np.int64))
+        return np.take_along_axis(recon, candidates, axis=1)
+
+    def _state(self) -> Any:
+        return {"params": [p.data for p in self.net.parameters()],
+                "profiles": self._user_items}
+
+    def _set_state(self, state: Any) -> None:
+        for param, data in zip(self.net.parameters(), state["params"]):
+            param.data = data
+        self._user_items = state["profiles"]
+        self.optimizer = Adam(list(self.net.parameters()), lr=self.lr)

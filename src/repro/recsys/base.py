@@ -1,0 +1,133 @@
+"""Ranker interface shared by all eight recommendation algorithms.
+
+A :class:`Ranker` scores candidate items for a user.  The recommender
+*system* (``repro.recsys.system``) owns candidate generation, top-k
+selection and the poison/retrain loop; rankers only implement ``fit`` /
+``score`` plus snapshot/restore so the system can implement the paper's
+"Reload the Ranker R, update R with D^p" poisoning step cheaply.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import Any, ClassVar, Optional
+
+import numpy as np
+
+from ..data.interactions import InteractionLog
+
+
+class Ranker(abc.ABC):
+    """Abstract ranker over a fixed user/item universe.
+
+    Parameters
+    ----------
+    num_users:
+        Size of the user universe, including the attacker accounts that
+        will be appended by the recommender system.
+    num_items:
+        Size of the item universe, including the target items.
+    seed:
+        Seed for any internal randomness (initialization, negative
+        sampling); identical seeds yield identical models.
+    """
+
+    #: Registry key, e.g. ``"bpr"``.
+    name: ClassVar[str] = "base"
+
+    def __init__(self, num_users: int, num_items: int, seed: int = 0) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = num_users
+        self.num_items = num_items
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, log: InteractionLog) -> None:
+        """Train from scratch on ``log``."""
+
+    def poison_update(self, log: InteractionLog,
+                      poison: InteractionLog) -> None:
+        """Update an already-fit model after poison injection.
+
+        ``log`` is the merged (clean + poison) log; ``poison`` contains only
+        the injected fake behaviors.  The default simply refits on the
+        merged log — parametric rankers override this with a cheap
+        fine-tuning pass, mirroring an online system's incremental retrain.
+        """
+        self.fit(log)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        """Preference scores for ``user`` over ``item_ids`` (higher=better)."""
+
+    def score_batch(self, users: np.ndarray,
+                    candidates: np.ndarray) -> np.ndarray:
+        """Scores for many users at once.
+
+        ``candidates`` is ``(num_users, candidate_size)``; the default
+        implementation loops, subclasses vectorize where it pays off.
+        """
+        return np.stack([self.score(int(u), candidates[i])
+                         for i, u in enumerate(users)])
+
+    # ------------------------------------------------------------------
+    # State management (for the reload-and-poison loop)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        """Capture the trained state; restorable via :meth:`restore`."""
+        return copy.deepcopy(self._state())
+
+    def restore(self, state: Any) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self._set_state(copy.deepcopy(state))
+
+    def _state(self) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _state/_set_state")
+
+    def _set_state(self, state: Any) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _state/_set_state")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def item_embeddings(self) -> Optional[np.ndarray]:
+        """Learned item representations, if the model has any.
+
+        Used for the Figure 6 t-SNE visualization.  Non-embedding models
+        (ItemPop, CoVisitation) return ``None``; the paper substitutes
+        PMF's embeddings for them.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(users={self.num_users}, "
+                f"items={self.num_items})")
+
+
+def sample_negatives(rng: np.random.Generator, positives: np.ndarray,
+                     num_items: int, count: int) -> np.ndarray:
+    """Sample ``count`` item ids, re-rolling collisions with ``positives``.
+
+    A single re-roll pass is enough for the sparse implicit logs used
+    here; residual collisions act as mild label noise, which the original
+    BPR/NeuMF training procedures also tolerate.
+    """
+    negatives = rng.integers(0, num_items, size=count)
+    positive_set = set(int(p) for p in np.asarray(positives).ravel())
+    if positive_set:
+        mask = np.fromiter((int(n) in positive_set for n in negatives),
+                           dtype=bool, count=count)
+        if mask.any():
+            negatives[mask] = rng.integers(0, num_items, size=int(mask.sum()))
+    return negatives

@@ -1,0 +1,150 @@
+"""Candidate generation for the recommendation pipeline.
+
+The paper's evaluation protocol (Section IV-A): for each user, the
+candidate set is 92 randomly selected original items plus the 8 target
+items; the ranker then picks the top-10.  Random candidate generation is
+used "for evaluation efficiency" — whether the targets win among random
+competitors reflects how well they were promoted.
+
+Production systems use a real candidate-generation model (the paper's
+Section III-A1), so two further generators are provided:
+
+* :class:`PopularityCandidateGenerator` — a popularity head plus a random
+  exploration tail, the simplest production heuristic;
+* :class:`ModelCandidateGenerator` — per-user top-C retrieval from a
+  two-tower factor model (here: PMF factors), the YouTube-style design
+  the paper cites.
+
+All generators append the full target set so RecNum stays measurable;
+whether that is realistic depends on the attack's progress — a production
+candidate model only surfaces targets once poisoning lifts them, which
+the model generator reflects when re-fit on the poisoned log.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class CandidateGenerator(abc.ABC):
+    """Builds per-user candidate sets of original items plus all targets."""
+
+    def __init__(self, num_original_items: int, target_items: np.ndarray,
+                 num_original_candidates: int = 92, seed: int = 0) -> None:
+        if num_original_items <= 0:
+            raise ValueError("num_original_items must be positive")
+        self.num_original_items = num_original_items
+        self.target_items = np.asarray(target_items, dtype=np.int64)
+        self.num_original_candidates = min(num_original_candidates,
+                                           num_original_items)
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def candidate_size(self) -> int:
+        """Originals per row plus the always-included target block."""
+        return self.num_original_candidates + len(self.target_items)
+
+    @abc.abstractmethod
+    def _original_candidates(self, row: int) -> np.ndarray:
+        """The original-item part of one user's candidate set."""
+
+    def generate(self, num_users: int) -> np.ndarray:
+        """Candidate matrix of shape ``(num_users, candidate_size)``.
+
+        Each row mixes the generator's originals with the targets and is
+        shuffled so candidate position carries no information (important
+        for deterministic tie-breaking in top-k selection).
+        """
+        rows = np.empty((num_users, self.candidate_size), dtype=np.int64)
+        for row in range(num_users):
+            originals = self._original_candidates(row)
+            candidates = np.concatenate([originals, self.target_items])
+            self.rng.shuffle(candidates)
+            rows[row] = candidates
+        return rows
+
+
+class RandomCandidateGenerator(CandidateGenerator):
+    """The paper's protocol: uniform random originals per user."""
+
+    def _original_candidates(self, row: int) -> np.ndarray:
+        return self.rng.choice(self.num_original_items,
+                               size=self.num_original_candidates,
+                               replace=False)
+
+
+class PopularityCandidateGenerator(CandidateGenerator):
+    """Popularity head + random exploration tail.
+
+    ``head_fraction`` of each candidate set is the globally most popular
+    items (shared across users); the remainder is sampled uniformly from
+    the rest — a common non-personalized production fallback.
+    """
+
+    def __init__(self, num_original_items: int, target_items: np.ndarray,
+                 popularity: np.ndarray,
+                 num_original_candidates: int = 92, seed: int = 0,
+                 head_fraction: float = 0.5) -> None:
+        super().__init__(num_original_items, target_items,
+                         num_original_candidates, seed)
+        if not 0.0 <= head_fraction <= 1.0:
+            raise ValueError("head_fraction must be in [0, 1]")
+        popularity = np.asarray(popularity[:num_original_items], dtype=float)
+        head_size = int(round(self.num_original_candidates * head_fraction))
+        order = np.argsort(-popularity, kind="stable")
+        self.head = order[:head_size].astype(np.int64)
+        self.tail_pool = order[head_size:].astype(np.int64)
+
+    def _original_candidates(self, row: int) -> np.ndarray:
+        tail_size = self.num_original_candidates - len(self.head)
+        if tail_size <= 0 or len(self.tail_pool) == 0:
+            return self.head[:self.num_original_candidates]
+        tail = self.rng.choice(self.tail_pool,
+                               size=min(tail_size, len(self.tail_pool)),
+                               replace=False)
+        originals = np.concatenate([self.head, tail])
+        return originals[:self.num_original_candidates]
+
+
+class ModelCandidateGenerator(CandidateGenerator):
+    """Two-tower retrieval: per-user top-C originals by factor dot product.
+
+    ``user_factors``/``item_factors`` typically come from a PMF/BPR model
+    fit on the (possibly poisoned) log — call :meth:`refresh` after the
+    retrieval model retrains so candidate sets follow the poisoning, as a
+    production funnel would.
+    """
+
+    def __init__(self, num_original_items: int, target_items: np.ndarray,
+                 user_factors: np.ndarray, item_factors: np.ndarray,
+                 user_ids: np.ndarray,
+                 num_original_candidates: int = 92, seed: int = 0,
+                 exploration_fraction: float = 0.2) -> None:
+        super().__init__(num_original_items, target_items,
+                         num_original_candidates, seed)
+        if not 0.0 <= exploration_fraction <= 1.0:
+            raise ValueError("exploration_fraction must be in [0, 1]")
+        self.user_ids = np.asarray(user_ids, dtype=np.int64)
+        self.exploration_fraction = exploration_fraction
+        self.refresh(user_factors, item_factors)
+
+    def refresh(self, user_factors: np.ndarray,
+                item_factors: np.ndarray) -> None:
+        """Recompute retrieval scores from updated tower factors."""
+        self._scores = (user_factors[self.user_ids]
+                        @ item_factors[:self.num_original_items].T)
+
+    def _original_candidates(self, row: int) -> np.ndarray:
+        count = self.num_original_candidates
+        explore = int(round(count * self.exploration_fraction))
+        retrieve = count - explore
+        order = np.argsort(-self._scores[row], kind="stable")
+        head = order[:retrieve].astype(np.int64)
+        if explore > 0:
+            pool = np.setdiff1d(np.arange(self.num_original_items), head)
+            extra = self.rng.choice(pool, size=min(explore, len(pool)),
+                                    replace=False)
+            head = np.concatenate([head, extra])
+        return head[:count]

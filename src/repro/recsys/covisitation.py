@@ -1,0 +1,83 @@
+"""CoVisitation: item-based CF over consecutive clicks (Yang et al., NDSS'17).
+
+Consecutive behaviors ``(a, b)`` in any user's sequence add a co-visitation
+edge in both directions.  A candidate item's score for a user aggregates
+the co-visitation counts between the candidate and the user's history,
+normalized by each history item's total co-visits (the "co-visitation
+rate").  This is the system ConsLOP is purpose-built to attack.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+import numpy as np
+
+from ..data.interactions import InteractionLog
+from .base import Ranker
+
+
+class CoVisitation(Ranker):
+    """Co-visitation graph recommender."""
+
+    name = "covisitation"
+
+    def __init__(self, num_users: int, num_items: int, seed: int = 0,
+                 history_window: int = 20) -> None:
+        super().__init__(num_users, num_items, seed)
+        self.history_window = history_window
+        self.covisits: Dict[int, Dict[int, float]] = defaultdict(dict)
+        self.out_degree = np.zeros(num_items, dtype=np.float64)
+        self._histories: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    def _add_edges(self, log: InteractionLog) -> None:
+        for user, sequence in log.iter_sequences():
+            history = self._histories.setdefault(user, [])
+            prev = history[-1] if history else None
+            for item in sequence:
+                if prev is not None and prev != item:
+                    row = self.covisits[prev]
+                    row[item] = row.get(item, 0.0) + 1.0
+                    row_b = self.covisits[item]
+                    row_b[prev] = row_b.get(prev, 0.0) + 1.0
+                    self.out_degree[prev] += 1.0
+                    self.out_degree[item] += 1.0
+                history.append(item)
+                prev = item
+
+    def fit(self, log: InteractionLog) -> None:
+        self.covisits = defaultdict(dict)
+        self.out_degree = np.zeros(self.num_items, dtype=np.float64)
+        self._histories = {}
+        self._add_edges(log)
+
+    def poison_update(self, log: InteractionLog,
+                      poison: InteractionLog) -> None:
+        # Edges are additive; only the poison sequences add new ones.
+        self._add_edges(poison)
+
+    # ------------------------------------------------------------------
+    def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        history = self._histories.get(user, [])[-self.history_window:]
+        scores = np.zeros(len(item_ids), dtype=np.float64)
+        if not history:
+            return scores
+        index = {int(item): pos for pos, item in enumerate(item_ids)}
+        for h in history:
+            degree = max(self.out_degree[h], 1.0)
+            for neighbor, weight in self.covisits.get(h, {}).items():
+                pos = index.get(neighbor)
+                if pos is not None:
+                    scores[pos] += weight / degree
+        return scores
+
+    def _state(self) -> tuple:
+        return (self.covisits, self.out_degree, self._histories)
+
+    def _set_state(self, state: tuple) -> None:
+        self.covisits, self.out_degree, self._histories = state
+        if not isinstance(self.covisits, defaultdict):
+            self.covisits = defaultdict(dict, self.covisits)

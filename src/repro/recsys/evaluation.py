@@ -1,0 +1,71 @@
+"""Recommendation-quality evaluation (leave-one-out HR@k / NDCG@k).
+
+Not part of the attack itself, but essential to trust the testbeds: a
+ranker that cannot recommend cannot be meaningfully poisoned.  The
+protocol follows the paper's data split — for each user, rank the held-out
+item against sampled negatives and report hit rate and NDCG at k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.interactions import Dataset
+from .base import Ranker
+
+
+@dataclass
+class RankingQuality:
+    """Held-out ranking metrics for one ranker on one dataset."""
+
+    hit_rate: float
+    ndcg: float
+    num_users: int
+    k: int
+
+    def __str__(self) -> str:
+        return (f"HR@{self.k}={self.hit_rate:.3f} "
+                f"NDCG@{self.k}={self.ndcg:.3f} over {self.num_users} users")
+
+
+def evaluate_ranking(ranker: Ranker, dataset: Dataset,
+                     held_out: Optional[Dict[int, int]] = None,
+                     k: int = 10, num_negatives: int = 50,
+                     seed: int = 0) -> RankingQuality:
+    """Leave-one-out evaluation against sampled negatives.
+
+    For every user with a held-out item (``dataset.test`` by default), the
+    ranker scores the held-out item among ``num_negatives`` sampled
+    unclicked items; a hit means it lands in the top ``k``.
+    """
+    held_out = held_out if held_out is not None else dataset.test
+    rng = np.random.default_rng(seed)
+    hits = []
+    gains = []
+    for user, positive in held_out.items():
+        clicked = set(dataset.train.sequence(user))
+        clicked.add(positive)
+        negatives = []
+        while len(negatives) < num_negatives:
+            item = int(rng.integers(dataset.num_items))
+            if item not in clicked:
+                negatives.append(item)
+        candidates = np.asarray([positive] + negatives, dtype=np.int64)
+        scores = ranker.score(user, candidates)
+        rank = int((scores > scores[0]).sum())  # items strictly above
+        hits.append(1.0 if rank < k else 0.0)
+        gains.append(1.0 / np.log2(rank + 2) if rank < k else 0.0)
+    if not hits:
+        return RankingQuality(hit_rate=0.0, ndcg=0.0, num_users=0, k=k)
+    return RankingQuality(hit_rate=float(np.mean(hits)),
+                          ndcg=float(np.mean(gains)),
+                          num_users=len(hits), k=k)
+
+
+def random_baseline_quality(dataset: Dataset, k: int = 10,
+                            num_negatives: int = 50) -> float:
+    """Expected HR@k of a random ranker under the same protocol."""
+    return k / (num_negatives + 1)

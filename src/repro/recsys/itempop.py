@@ -1,0 +1,44 @@
+"""ItemPop: popularity ranking, the simplest testbed in the paper.
+
+Items are scored by their raw click count in the (possibly poisoned) log.
+Promoting a target item means making it *look* popular — the paper shows
+PoisonRec learns to dump its entire budget on a single target here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.interactions import InteractionLog
+from .base import Ranker
+
+
+class ItemPop(Ranker):
+    """Non-personalized popularity ranker."""
+
+    name = "itempop"
+
+    def __init__(self, num_users: int, num_items: int, seed: int = 0) -> None:
+        super().__init__(num_users, num_items, seed)
+        self.counts = np.zeros(num_items, dtype=np.float64)
+
+    def fit(self, log: InteractionLog) -> None:
+        self.counts = log.item_counts().astype(np.float64)
+
+    def poison_update(self, log: InteractionLog,
+                      poison: InteractionLog) -> None:
+        # Popularity is additive, so the update is just the poison counts.
+        self.counts = self.counts + poison.item_counts()
+
+    def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        return self.counts[np.asarray(item_ids, dtype=np.int64)]
+
+    def score_batch(self, users: np.ndarray,
+                    candidates: np.ndarray) -> np.ndarray:
+        return self.counts[candidates]
+
+    def _state(self) -> np.ndarray:
+        return self.counts
+
+    def _set_state(self, state: np.ndarray) -> None:
+        self.counts = state

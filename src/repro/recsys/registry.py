@@ -1,0 +1,35 @@
+"""Name-based ranker registry: the paper's 8 testbed algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .autorec import AutoRec
+from .base import Ranker
+from .bpr import BPR
+from .covisitation import CoVisitation
+from .gru4rec import GRU4Rec
+from .itempop import ItemPop
+from .neumf import NeuMF
+from .ngcf import NGCF
+from .pmf import PMF
+
+#: All eight rankers, in the paper's Table III column order.
+RANKER_CLASSES: Dict[str, Type[Ranker]] = {
+    cls.name: cls
+    for cls in (ItemPop, CoVisitation, PMF, BPR, NeuMF, AutoRec, GRU4Rec,
+                NGCF)
+}
+
+RANKER_NAMES = tuple(RANKER_CLASSES)
+
+
+def make_ranker(name: str, num_users: int, num_items: int, seed: int = 0,
+                **kwargs) -> Ranker:
+    """Instantiate a ranker by registry name."""
+    try:
+        cls = RANKER_CLASSES[name]
+    except KeyError:
+        raise ValueError(f"unknown ranker {name!r}; "
+                         f"expected one of {RANKER_NAMES}") from None
+    return cls(num_users, num_items, seed=seed, **kwargs)

@@ -1,0 +1,235 @@
+"""The recommender system under attack, and its black-box facade.
+
+:class:`RecommenderSystem` wires together a dataset, a ranker, random
+candidate generation and top-k selection, and implements the paper's
+poisoning protocol: target items are *new* items appended to the catalog,
+attackers are *new* user accounts, and every attack reloads the clean
+ranker state before applying the poison update (Algorithm 1's
+``DataPoisoning``).
+
+:class:`BlackBoxEnvironment` is the attacker-facing surface.  It exposes
+exactly the knowledge the paper grants (Section III-A2): the item universe,
+the target item ids, crawlable item popularity, and the scalar ``RecNum``
+reward after an injection — nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.interactions import Dataset, InteractionLog
+from .base import Ranker
+from .candidate import (CandidateGenerator, PopularityCandidateGenerator,
+                        RandomCandidateGenerator)
+from .registry import make_ranker
+
+
+class RecommenderSystem:
+    """A candidate-generation + ranker pipeline with a poisoning hook.
+
+    Parameters
+    ----------
+    dataset:
+        Clean training data (items ``[0, dataset.num_items)``).
+    ranker:
+        A ranker name (see :mod:`repro.recsys.registry`) or an already
+        constructed :class:`Ranker` sized for the extended universe.
+    num_targets:
+        Number of new target items appended to the catalog (paper: 8).
+    num_attackers:
+        Number of fake accounts available for injection (paper: N=20).
+    num_original_candidates / top_k:
+        Candidate-set protocol (paper: 92 random originals + targets,
+        k=10).
+    eval_user_sample:
+        Optionally evaluate RecNum over a fixed random subset of users
+        instead of all of them (speeds up large runs; None = all users).
+    """
+
+    def __init__(self, dataset: Dataset, ranker: str | Ranker,
+                 num_targets: int = 8, num_attackers: int = 20,
+                 num_original_candidates: int = 92, top_k: int = 10,
+                 seed: int = 0, ranker_kwargs: Optional[dict] = None,
+                 eval_user_sample: Optional[int] = None,
+                 candidate_generator: str | CandidateGenerator = "random"
+                 ) -> None:
+        if num_targets <= 0:
+            raise ValueError("num_targets must be positive")
+        self.dataset = dataset
+        self.num_original_items = dataset.num_items
+        self.num_targets = num_targets
+        self.num_items = self.num_original_items + num_targets
+        self.target_items = np.arange(self.num_original_items, self.num_items)
+        self.top_k = top_k
+        self.seed = seed
+
+        real_users = dataset.train.users
+        if not real_users:
+            raise ValueError("dataset has no users")
+        self._user_slots = max(real_users) + 1
+        self.num_attackers = num_attackers
+        self.attacker_users = np.arange(self._user_slots,
+                                        self._user_slots + num_attackers)
+        self.num_users = self._user_slots + num_attackers
+
+        # Clean training log re-homed into the extended item universe.
+        self.clean_log = InteractionLog(self.num_items)
+        for user, sequence in dataset.train.iter_sequences():
+            self.clean_log.add_sequence(user, sequence)
+
+        if isinstance(ranker, str):
+            self.ranker = make_ranker(ranker, self.num_users, self.num_items,
+                                      seed=seed, **(ranker_kwargs or {}))
+        else:
+            self.ranker = ranker
+        self.ranker.fit(self.clean_log)
+        self._clean_state = self.ranker.snapshot()
+
+        # Frozen evaluation protocol: fixed eval users and candidate sets so
+        # RecNum differences across attacks reflect the poisoning, not
+        # candidate-sampling noise.
+        rng = np.random.default_rng(seed + 7919)
+        eval_users = np.asarray(real_users, dtype=np.int64)
+        if eval_user_sample is not None and eval_user_sample < len(eval_users):
+            eval_users = rng.choice(eval_users, size=eval_user_sample,
+                                    replace=False)
+        self.eval_users = np.sort(eval_users)
+        if isinstance(candidate_generator, CandidateGenerator):
+            generator = candidate_generator
+        elif candidate_generator == "random":
+            generator = RandomCandidateGenerator(
+                self.num_original_items, self.target_items,
+                num_original_candidates=num_original_candidates,
+                seed=seed + 104729)
+        elif candidate_generator == "popularity":
+            generator = PopularityCandidateGenerator(
+                self.num_original_items, self.target_items,
+                popularity=self.clean_log.item_counts().astype(float),
+                num_original_candidates=num_original_candidates,
+                seed=seed + 104729)
+        else:
+            raise ValueError(
+                f"unknown candidate generator {candidate_generator!r}; "
+                "use 'random', 'popularity', or a CandidateGenerator")
+        self.candidate_generator = generator
+        self.candidates = generator.generate(len(self.eval_users))
+        self._poisoned = False
+        self.query_count = 0
+
+    # ------------------------------------------------------------------
+    # Recommendation + measurement
+    # ------------------------------------------------------------------
+    def recommend(self) -> np.ndarray:
+        """Top-k candidate item ids per evaluation user."""
+        scores = self.ranker.score_batch(self.eval_users, self.candidates)
+        top = np.argpartition(-scores, self.top_k - 1, axis=1)[:, :self.top_k]
+        return np.take_along_axis(self.candidates, top, axis=1)
+
+    def recnum(self) -> int:
+        """The paper's RecNum: total target-item slots across all top-k lists."""
+        recommended = self.recommend()
+        return int((recommended >= self.num_original_items).sum())
+
+    def target_exposures(self) -> np.ndarray:
+        """Per-target exposure counts (RecNum broken down by target item).
+
+        Used to verify the paper's Section IV-D observation that PoisonRec
+        can promote several targets simultaneously.
+        """
+        recommended = self.recommend()
+        exposures = np.zeros(self.num_targets, dtype=np.int64)
+        hits = recommended[recommended >= self.num_original_items]
+        np.add.at(exposures, hits - self.num_original_items, 1)
+        return exposures
+
+    # ------------------------------------------------------------------
+    # Poisoning
+    # ------------------------------------------------------------------
+    def build_poison_log(self,
+                         trajectories: Sequence[Sequence[int]]
+                         ) -> InteractionLog:
+        """Map attack trajectories onto attacker accounts.
+
+        Trajectory ``i`` becomes the click sequence of attacker account
+        ``i``; item ids must be in the extended universe (targets are
+        ``system.target_items``).
+        """
+        if len(trajectories) > self.num_attackers:
+            raise ValueError(
+                f"{len(trajectories)} trajectories exceed the "
+                f"{self.num_attackers} attacker accounts")
+        poison = InteractionLog(self.num_items)
+        for i, trajectory in enumerate(trajectories):
+            poison.add_sequence(int(self.attacker_users[i]), trajectory)
+        return poison
+
+    def reset(self) -> None:
+        """Reload the clean ranker state (pre-poison)."""
+        self.ranker.restore(self._clean_state)
+        self._poisoned = False
+
+    def inject(self, trajectories: Sequence[Sequence[int]]) -> None:
+        """Inject fake behaviors and update the ranker (no reset)."""
+        poison = self.build_poison_log(trajectories)
+        merged = self.clean_log.merged_with(poison)
+        self.ranker.poison_update(merged, poison)
+        self._poisoned = True
+
+    def attack(self, trajectories: Sequence[Sequence[int]]) -> int:
+        """The full poisoning round: reload clean state, inject, measure.
+
+        This is Algorithm 1's ``DataPoisoning`` plus the RecNum readout,
+        and the primitive every attack method in this package is built on.
+        Each call counts as one black-box query (``query_count``), the
+        budget unit for comparing learning-based attacks fairly.
+        """
+        self.reset()
+        self.inject(trajectories)
+        self.query_count += 1
+        return self.recnum()
+
+    def __repr__(self) -> str:
+        return (f"RecommenderSystem(ranker={self.ranker.name!r}, "
+                f"dataset={self.dataset.name!r}, "
+                f"items={self.num_original_items}+{self.num_targets}, "
+                f"eval_users={len(self.eval_users)})")
+
+
+class BlackBoxEnvironment:
+    """Attacker's view of a :class:`RecommenderSystem`.
+
+    Exposes only the knowledge the paper's threat model allows:
+
+    * the browsable item universe and which items are the attacker's own
+      targets,
+    * crawlable item popularity (sales volume) of the *clean* system,
+    * the scalar RecNum signal after injecting an attack.
+
+    The ranker type, its parameters, other users' logs and per-user
+    recommendation lists are all hidden.
+    """
+
+    def __init__(self, system: RecommenderSystem) -> None:
+        self._system = system
+        self.num_original_items = system.num_original_items
+        self.num_items = system.num_items
+        self.target_items = system.target_items.copy()
+        self.num_attackers = system.num_attackers
+        self.item_popularity = (
+            system.clean_log.item_counts().astype(np.float64))
+
+    def attack(self, trajectories: Sequence[Sequence[int]]) -> int:
+        """Inject trajectories into the black box; returns observed RecNum."""
+        return self._system.attack(trajectories)
+
+    def clean_recnum(self) -> int:
+        """RecNum with no poisoning (the pre-attack baseline exposure)."""
+        self._system.reset()
+        return self._system.recnum()
+
+    @property
+    def query_count(self) -> int:
+        """How many poisoning rounds this environment has served."""
+        return self._system.query_count

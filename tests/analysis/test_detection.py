@@ -1,0 +1,120 @@
+"""Shilling-detector tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (DuplicateClickDetector,
+                            PopularityDeviationDetector,
+                            ProfileSimilarityDetector, evaluate_detection)
+from repro.data import InteractionLog
+
+
+def organic_log(num_users=60, num_items=40, seed=0):
+    rng = np.random.default_rng(seed)
+    log = InteractionLog(num_items)
+    weights = np.arange(num_items, 0, -1.0)
+    weights /= weights.sum()
+    for user in range(num_users):
+        items = rng.choice(num_items, size=8, replace=False, p=weights)
+        log.add_sequence(user, items.tolist())
+    return log
+
+
+class TestDuplicateClickDetector:
+    def test_score_reflects_repetition(self):
+        detector = DuplicateClickDetector()
+        context = None  # unused by this detector
+        assert detector.score_user([1, 1, 1, 1], context) == 0.75
+        assert detector.score_user([1, 2, 3, 4], context) == 0.0
+        assert detector.score_user([], context) == 0.0
+
+    def test_flags_flooding_attackers(self):
+        log = organic_log()
+        detector = DuplicateClickDetector(threshold_percentile=95)
+        detector.fit(log)
+        attackers = {100 + i: [39] * 10 for i in range(5)}
+        flagged = detector.detect(attackers)
+        assert set(flagged) == set(attackers)
+
+    def test_detect_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            DuplicateClickDetector().detect({0: [1]})
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            DuplicateClickDetector(threshold_percentile=0)
+
+
+class TestPopularityDeviationDetector:
+    def test_cold_item_profiles_score_high(self):
+        log = organic_log()
+        detector = PopularityDeviationDetector()
+        detector.fit(log)
+        context = detector._context
+        cold = detector.score_user([39, 39, 38], context)
+        hot = detector.score_user([0, 1, 2], context)
+        assert cold > hot
+
+    def test_out_of_universe_items_count_as_cold(self):
+        log = organic_log()
+        detector = PopularityDeviationDetector()
+        detector.fit(log)
+        score = detector.score_user([999, 999], detector._context)
+        assert score == 1.0
+
+
+class TestProfileSimilarityDetector:
+    def test_identical_profiles_max_similarity_is_one(self):
+        similarity = ProfileSimilarityDetector._max_similarity(
+            {5, 6, 7, 8}, [{5, 6, 7, 8}, {1, 2}])
+        assert similarity == 1.0
+
+    def test_disjoint_profiles_similarity_zero(self):
+        similarity = ProfileSimilarityDetector._max_similarity(
+            {1, 2}, [{3, 4}])
+        assert similarity == 0.0
+
+    def test_flags_clone_armies(self):
+        log = organic_log()
+        detector = ProfileSimilarityDetector(threshold_percentile=99)
+        detector.fit(log)
+        accounts = {100 + i: [30, 31, 32, 33, 34] for i in range(6)}
+        flagged = detector.detect(accounts)
+        assert len(flagged) == 6
+
+
+class TestEvaluateDetection:
+    def test_report_fields(self):
+        log = organic_log()
+        attackers = {100 + i: [39] * 10 for i in range(5)}
+        report = evaluate_detection(DuplicateClickDetector(95), log,
+                                    attackers)
+        assert report.detector == "duplicate-clicks"
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.f1 <= 1.0
+
+    def test_perfect_detection_on_obvious_attack(self):
+        log = organic_log()
+        attackers = {100 + i: [39] * 10 for i in range(5)}
+        report = evaluate_detection(DuplicateClickDetector(99), log,
+                                    attackers)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+
+    def test_diverse_attack_evades_duplicate_detector(self):
+        log = organic_log()
+        rng = np.random.default_rng(1)
+        attackers = {100 + i: rng.choice(40, size=10,
+                                         replace=False).tolist()
+                     for i in range(5)}
+        report = evaluate_detection(DuplicateClickDetector(99), log,
+                                    attackers)
+        assert report.recall == 0.0
+
+    def test_f1_zero_when_nothing_flagged(self):
+        log = organic_log()
+        attackers = {100: [0, 1, 2]}
+        report = evaluate_detection(DuplicateClickDetector(100), log,
+                                    attackers)
+        assert report.f1 == 0.0

@@ -1,0 +1,58 @@
+"""Attack metric tests."""
+
+import pytest
+
+from repro.analysis import (clicked_item_counts, distinct_targets_promoted,
+                            target_click_ratio, uplift, win_counts)
+
+
+class TestTargetClickRatio:
+    def test_basic_ratio(self):
+        trajectories = [[0, 10, 10], [10]]
+        assert target_click_ratio(trajectories, 10) == 0.75
+
+    def test_empty(self):
+        assert target_click_ratio([], 10) == 0.0
+
+    def test_all_originals(self):
+        assert target_click_ratio([[0, 1, 2]], 10) == 0.0
+
+
+class TestClickedItemCounts:
+    def test_counts(self):
+        counts = clicked_item_counts([[1, 1, 2], [2]])
+        assert counts == {1: 2, 2: 2}
+
+
+class TestDistinctTargets:
+    def test_min_clicks_filter(self):
+        trajectories = [[10, 10, 11], [12]]
+        assert distinct_targets_promoted(trajectories, 10) == 3
+        assert distinct_targets_promoted(trajectories, 10, min_clicks=2) == 1
+
+
+class TestUplift:
+    def test_difference(self):
+        assert uplift(150.0, 30.0) == 120.0
+
+
+class TestWinCounts:
+    def test_single_winner_per_testbed(self):
+        results = {"a": [5.0, 1.0], "b": [3.0, 9.0]}
+        assert win_counts(results) == {"a": 1, "b": 1}
+
+    def test_ties_award_both(self):
+        results = {"a": [5.0], "b": [5.0]}
+        assert win_counts(results) == {"a": 1, "b": 1}
+
+    def test_all_zero_testbed_skipped(self):
+        # The paper excludes ItemPop/MovieLens where all methods score 0.
+        results = {"a": [0.0, 2.0], "b": [0.0, 1.0]}
+        assert win_counts(results) == {"a": 1, "b": 0}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            win_counts({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty(self):
+        assert win_counts({}) == {}

@@ -1,0 +1,73 @@
+"""SVG plotting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import line_chart, popularity_color, scatter_plot
+
+
+class TestLineChart:
+    def test_writes_valid_svg(self, tmp_path):
+        path = line_chart({"a": [0, 1, 2], "b": [2, 1, 0]},
+                          tmp_path / "chart.svg", title="t")
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+        assert text.count("<polyline") == 2
+
+    def test_legend_labels_present(self, tmp_path):
+        path = line_chart({"alpha": [1.0], "beta": [2.0]},
+                          tmp_path / "c.svg")
+        text = path.read_text()
+        assert "alpha" in text and "beta" in text
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            line_chart({}, tmp_path / "c.svg")
+
+    def test_constant_series_does_not_divide_by_zero(self, tmp_path):
+        path = line_chart({"flat": [0.0, 0.0, 0.0]}, tmp_path / "c.svg")
+        assert "NaN" not in path.read_text()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = line_chart({"a": [1]}, tmp_path / "nested" / "dir" / "c.svg")
+        assert path.exists()
+
+
+class TestScatterPlot:
+    def test_writes_points(self, tmp_path):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]])
+        path = scatter_plot(points, tmp_path / "s.svg")
+        assert path.read_text().count("<circle") == 3
+
+    def test_highlight_adds_outline(self, tmp_path):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        path = scatter_plot(points, tmp_path / "s.svg", highlight=[1])
+        assert path.read_text().count("<circle") == 3  # 2 dots + 1 ring
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            scatter_plot(np.zeros((3, 3)), tmp_path / "s.svg")
+
+    def test_custom_colors_used(self, tmp_path):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        path = scatter_plot(points, tmp_path / "s.svg",
+                            colors=["#123456", "#abcdef"])
+        text = path.read_text()
+        assert "#123456" in text and "#abcdef" in text
+
+
+class TestPopularityColor:
+    def test_length_and_format(self):
+        colors = popularity_color(np.array([0.0, 5.0, 10.0]))
+        assert len(colors) == 3
+        assert all(c.startswith("#") and len(c) == 7 for c in colors)
+
+    def test_monotone_red_channel(self):
+        colors = popularity_color(np.array([0.0, 5.0, 10.0]))
+        reds = [int(c[1:3], 16) for c in colors]
+        assert reds[0] < reds[1] < reds[2]
+
+    def test_zero_popularity_safe(self):
+        colors = popularity_color(np.zeros(4))
+        assert len(set(colors)) == 1

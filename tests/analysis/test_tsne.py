@@ -1,0 +1,50 @@
+"""t-SNE implementation tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tsne
+
+
+class TestTsne:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 10))
+        y = tsne(x, num_components=2, iterations=60, seed=0)
+        assert y.shape == (40, 2)
+        assert np.isfinite(y).all()
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 5)))
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.1, size=(25, 8))
+        b = rng.normal(8.0, 0.1, size=(25, 8))
+        y = tsne(np.vstack([a, b]), iterations=200, seed=1)
+        centroid_a = y[:25].mean(axis=0)
+        centroid_b = y[25:].mean(axis=0)
+        spread_a = np.linalg.norm(y[:25] - centroid_a, axis=1).mean()
+        spread_b = np.linalg.norm(y[25:] - centroid_b, axis=1).mean()
+        separation = np.linalg.norm(centroid_a - centroid_b)
+        assert separation > 2 * max(spread_a, spread_b)
+
+    def test_deterministic_by_seed(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 5))
+        y1 = tsne(x, iterations=50, seed=3)
+        y2 = tsne(x, iterations=50, seed=3)
+        np.testing.assert_allclose(y1, y2)
+
+    def test_output_centered(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(30, 6))
+        y = tsne(x, iterations=50, seed=0)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_perplexity_clamped_for_small_inputs(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(10, 4))
+        y = tsne(x, perplexity=50.0, iterations=30, seed=0)
+        assert np.isfinite(y).all()

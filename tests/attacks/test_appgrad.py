@@ -1,0 +1,60 @@
+"""AppGrad approximate-gradient attack tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AppGrad, AttackBudget
+
+
+BUDGET = AttackBudget(num_attackers=6, trajectory_length=10)
+
+
+class TestMatrix:
+    def test_rows_sum_to_trajectory_length(self, itempop_env):
+        attack = AppGrad(itempop_env, BUDGET, seed=0, iterations=0)
+        np.testing.assert_array_equal(attack.matrix.sum(axis=1),
+                                      np.full(6, 10))
+
+    def test_initialization_biased_toward_targets(self, itempop_env):
+        attack = AppGrad(itempop_env, AttackBudget(6, 40), seed=0,
+                         iterations=0)
+        target_clicks = attack.matrix[:, itempop_env.target_items].sum()
+        ratio = target_clicks / attack.matrix.sum()
+        assert 0.35 < ratio < 0.65
+
+    def test_proposal_preserves_row_sums(self, itempop_env):
+        attack = AppGrad(itempop_env, BUDGET, seed=0, iterations=0)
+        proposal = attack._propose(attack.matrix)
+        np.testing.assert_array_equal(proposal.sum(axis=1), np.full(6, 10))
+        assert (proposal >= 0).all()
+
+    def test_trajectories_match_matrix(self, itempop_env):
+        attack = AppGrad(itempop_env, BUDGET, seed=0, iterations=0)
+        trajectories = attack._trajectories_from(attack.matrix)
+        for row, trajectory in zip(attack.matrix, trajectories):
+            counts = np.bincount(trajectory,
+                                 minlength=itempop_env.num_items)
+            np.testing.assert_array_equal(counts, row)
+
+
+class TestOptimize:
+    def test_optimization_never_decreases_tracked_value(self, itempop_env):
+        attack = AppGrad(itempop_env, BUDGET, seed=0, iterations=5,
+                         probes_per_iteration=2)
+        initial_value = itempop_env.attack(
+            attack._trajectories_from(attack.matrix))
+        attack.optimize()
+        assert attack.best_recnum >= initial_value
+
+    def test_zero_iterations_keeps_initial_matrix(self, itempop_env):
+        attack = AppGrad(itempop_env, BUDGET, seed=0, iterations=0)
+        before = attack.matrix.copy()
+        attack.optimize()
+        np.testing.assert_array_equal(attack.matrix, before)
+
+    def test_generate_returns_budgeted_trajectories(self, itempop_env):
+        attack = AppGrad(itempop_env, BUDGET, seed=0, iterations=2,
+                         probes_per_iteration=1)
+        trajectories = attack.generate()
+        assert len(trajectories) == 6
+        assert all(len(t) == 10 for t in trajectories)

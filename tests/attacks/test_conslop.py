@@ -1,0 +1,78 @@
+"""ConsLOP linear-optimization attack tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackBudget, ConsLOP
+from repro.recsys import BlackBoxEnvironment, RecommenderSystem
+
+
+BUDGET = AttackBudget(num_attackers=6, trajectory_length=10)
+
+
+@pytest.fixture()
+def covis_env(tiny_dataset):
+    system = RecommenderSystem(tiny_dataset, "covisitation", seed=0,
+                               num_attackers=6)
+    return system, BlackBoxEnvironment(system)
+
+
+class TestSolve:
+    def test_budget_respected(self, covis_env):
+        system, env = covis_env
+        attack = ConsLOP(env, BUDGET, seed=0, system_log=system.clean_log)
+        counts = attack.solve()
+        assert counts.sum() <= BUDGET.total_clicks // 2
+        assert (counts >= 0).all()
+
+    def test_prefers_high_reach_low_degree(self, covis_env):
+        system, env = covis_env
+        attack = ConsLOP(env, BUDGET, seed=0, system_log=system.clean_log)
+        reach, degree = attack._item_statistics()
+        counts = attack.solve()
+        weights = reach / degree
+        chosen_weight = weights[counts > 0].mean() if (counts > 0).any() else 0
+        assert chosen_weight >= np.median(weights)
+
+    def test_works_without_privileged_log(self, covis_env):
+        _, env = covis_env
+        attack = ConsLOP(env, BUDGET, seed=0)  # popularity fallback
+        counts = attack.solve()
+        assert counts.sum() <= BUDGET.total_clicks // 2
+
+
+class TestGenerate:
+    def test_single_target_only(self, covis_env):
+        system, env = covis_env
+        attack = ConsLOP(env, BUDGET, seed=0, system_log=system.clean_log)
+        target_clicks = {item for t in attack.generate() for item in t
+                         if item >= env.num_original_items}
+        assert target_clicks == {attack.target_item}
+
+    def test_covisitation_pattern(self, covis_env):
+        """Even positions click the target, odd positions the partner."""
+        system, env = covis_env
+        attack = ConsLOP(env, BUDGET, seed=0, system_log=system.clean_log)
+        for trajectory in attack.generate():
+            assert len(trajectory) == 10
+            for step in range(0, 10, 2):
+                assert trajectory[step] == attack.target_item
+
+    def test_explicit_target_honored(self, covis_env):
+        system, env = covis_env
+        chosen = int(env.target_items[3])
+        attack = ConsLOP(env, BUDGET, seed=0, target_item=chosen,
+                         system_log=system.clean_log)
+        assert attack.target_item == chosen
+
+    def test_beats_clean_on_covisitation(self, covis_env):
+        system, env = covis_env
+        attack = ConsLOP(env, AttackBudget(6, 20), seed=0,
+                         system_log=system.clean_log)
+        assert attack.run().recnum >= env.clean_recnum()
+
+    def test_reach_counts_distinct_users(self, covis_env):
+        system, env = covis_env
+        attack = ConsLOP(env, BUDGET, seed=0, system_log=system.clean_log)
+        reach, _ = attack._item_statistics()
+        assert reach.max() <= system.clean_log.num_users

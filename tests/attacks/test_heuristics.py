@@ -1,0 +1,107 @@
+"""Heuristic attack baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (AttackBudget, BASELINE_CLASSES, HEURISTIC_NAMES,
+                           MiddleAttack, PopularAttack, PowerItemAttack,
+                           RandomAttack)
+
+
+BUDGET = AttackBudget(num_attackers=6, trajectory_length=10)
+
+
+class TestBudget:
+    def test_total_clicks(self):
+        assert AttackBudget(20, 20).total_clicks == 400
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            AttackBudget(0, 5)
+        with pytest.raises(ValueError):
+            AttackBudget(5, 0)
+
+    def test_budget_exceeding_accounts_rejected(self, itempop_env):
+        with pytest.raises(ValueError):
+            RandomAttack(itempop_env, AttackBudget(99, 5))
+
+
+@pytest.mark.parametrize("name", HEURISTIC_NAMES)
+class TestHeuristicsCommon:
+    def test_respects_budget(self, itempop_env, name):
+        attack = BASELINE_CLASSES[name](itempop_env, BUDGET, seed=0)
+        trajectories = attack.generate()
+        assert len(trajectories) == 6
+        assert all(len(t) == 10 for t in trajectories)
+
+    def test_items_in_universe(self, itempop_env, name):
+        attack = BASELINE_CLASSES[name](itempop_env, BUDGET, seed=0)
+        for trajectory in attack.generate():
+            assert all(0 <= item < itempop_env.num_items
+                       for item in trajectory)
+
+    def test_clicks_some_targets(self, itempop_env, name):
+        attack = BASELINE_CLASSES[name](itempop_env, BUDGET, seed=0)
+        clicks = [i for t in attack.generate() for i in t]
+        assert any(i >= itempop_env.num_original_items for i in clicks)
+
+    def test_deterministic_by_seed(self, itempop_env, name):
+        a = BASELINE_CLASSES[name](itempop_env, BUDGET, seed=4).generate()
+        b = BASELINE_CLASSES[name](itempop_env, BUDGET, seed=4).generate()
+        assert a == b
+
+    def test_run_returns_outcome(self, itempop_env, name):
+        outcome = BASELINE_CLASSES[name](itempop_env, BUDGET, seed=0).run()
+        assert outcome.method == name
+        assert outcome.recnum >= 0
+        assert len(outcome.trajectories) == 6
+
+
+class TestAlternationPatterns:
+    def test_random_alternates_target_original(self, itempop_env):
+        attack = RandomAttack(itempop_env, BUDGET, seed=0)
+        for trajectory in attack.generate():
+            for step, item in enumerate(trajectory):
+                if step % 2 == 0:
+                    assert item >= itempop_env.num_original_items
+                else:
+                    assert item < itempop_env.num_original_items
+
+    def test_popular_partner_items_are_popular(self, itempop_env):
+        attack = PopularAttack(itempop_env, BUDGET, seed=0, top_percent=10.0)
+        popularity = itempop_env.item_popularity
+        threshold = np.percentile(
+            popularity[:itempop_env.num_original_items], 85)
+        for trajectory in attack.generate():
+            for step, item in enumerate(trajectory):
+                if step % 2 == 1:
+                    assert popularity[item] >= threshold
+
+    def test_middle_can_repeat_targets(self, itempop_env):
+        attack = MiddleAttack(itempop_env,
+                              AttackBudget(6, 40), seed=1)
+        found_repeat = False
+        for trajectory in attack.generate():
+            for a, b in zip(trajectory, trajectory[1:]):
+                if (a >= itempop_env.num_original_items
+                        and b >= itempop_env.num_original_items):
+                    found_repeat = True
+        assert found_repeat
+
+    def test_poweritem_partners_from_power_set(self, itempop_env):
+        attack = PowerItemAttack(itempop_env, BUDGET, seed=0,
+                                 num_power_items=5)
+        power = set(attack.power_items.tolist())
+        assert len(power) == 5
+        for trajectory in attack.generate():
+            for step, item in enumerate(trajectory):
+                if step % 2 == 1:
+                    assert item in power
+
+    def test_power_items_lean_popular(self, itempop_env):
+        attack = PowerItemAttack(itempop_env, BUDGET, seed=0,
+                                 num_power_items=5)
+        popularity = itempop_env.item_popularity
+        mean_power = popularity[attack.power_items].mean()
+        mean_all = popularity[:itempop_env.num_original_items].mean()
+        assert mean_power > mean_all

@@ -1,0 +1,37 @@
+"""Shared fixtures: tiny datasets and environments that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, DatasetSpec, generate_log, leave_one_out_split
+from repro.recsys import BlackBoxEnvironment, RecommenderSystem
+
+
+TINY_SPEC = DatasetSpec(name="tiny", num_users=40, num_items=60,
+                        num_samples=400, num_clusters=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A 40-user / 60-item dataset; fits every ranker in milliseconds."""
+    log = generate_log(TINY_SPEC, seed=7)
+    return leave_one_out_split("tiny", log)
+
+
+@pytest.fixture(scope="session")
+def itempop_system(tiny_dataset) -> RecommenderSystem:
+    return RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                             num_attackers=6)
+
+
+@pytest.fixture()
+def itempop_env(itempop_system) -> BlackBoxEnvironment:
+    itempop_system.reset()
+    return BlackBoxEnvironment(itempop_system)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,146 @@
+"""Action-space tests: valid sampling, bias, numpy/autograd agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_action_space
+from repro.core.action_space import ACTION_SPACE_KINDS
+from repro.nn import Tensor
+
+NUM_ORIGINAL = 30
+TARGETS = np.arange(30, 38)
+NUM_ITEMS = 38
+
+
+def make_space(kind, seed=0):
+    popularity = np.concatenate([np.arange(NUM_ORIGINAL, 0, -1.0),
+                                 np.zeros(8)])
+    return make_action_space(kind, NUM_ORIGINAL, TARGETS, popularity,
+                             seed=seed)
+
+
+def random_features(space, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 0.3, (NUM_ITEMS + space.num_extra_rows, dim))
+
+
+@pytest.mark.parametrize("kind", ACTION_SPACE_KINDS)
+class TestCommonBehavior:
+    def test_sampled_items_in_universe(self, kind, rng):
+        space = make_space(kind)
+        features = random_features(space)
+        dnn_out = rng.normal(size=(16, 8))
+        step = space.sample_step(dnn_out, features, rng)
+        assert step.items.shape == (16,)
+        assert ((step.items >= 0) & (step.items < NUM_ITEMS)).all()
+
+    def test_log_probs_negative_and_masked(self, kind, rng):
+        space = make_space(kind)
+        features = random_features(space)
+        step = space.sample_step(rng.normal(size=(8, 8)), features, rng)
+        assert step.log_probs.shape == (8, space.max_decisions)
+        assert (step.log_probs[step.mask > 0] <= 0).all()
+        assert (step.log_probs[step.mask == 0] == 0).all()
+
+    def test_recompute_matches_sampling_exactly(self, kind, rng):
+        """The autograd recompute must reproduce the numpy sampling
+        log-probs bit-for-bit under unchanged parameters — the core PPO
+        correctness invariant."""
+        space = make_space(kind)
+        features_np = random_features(space)
+        dnn_out_np = rng.normal(size=(12, 8))
+        step = space.sample_step(dnn_out_np, features_np, rng)
+        recomputed = space.step_log_probs(
+            Tensor(dnn_out_np), Tensor(features_np, requires_grad=True),
+            step.decisions).numpy()
+        np.testing.assert_allclose(recomputed * step.mask,
+                                   step.log_probs * step.mask, atol=1e-10)
+
+    def test_recompute_has_gradient_path(self, kind, rng):
+        space = make_space(kind)
+        features = Tensor(random_features(space), requires_grad=True)
+        dnn_out_np = rng.normal(size=(4, 8))
+        step = space.sample_step(dnn_out_np, features.numpy(), rng)
+        lp = space.step_log_probs(Tensor(dnn_out_np), features,
+                                  step.decisions)
+        (lp * Tensor(step.mask)).sum().backward()
+        assert features.grad is not None
+        assert np.abs(features.grad).sum() > 0
+
+
+@pytest.mark.parametrize("kind", ACTION_SPACE_KINDS)
+class TestItemDistribution:
+    def test_rows_sum_to_one(self, kind, rng):
+        space = make_space(kind)
+        features = random_features(space)
+        dnn_out = rng.normal(size=(6, 8))
+        dist = space.item_distribution(dnn_out, features)
+        assert dist.shape == (6, NUM_ITEMS)
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-10)
+        assert (dist >= 0).all()
+
+    def test_matches_empirical_sampling(self, kind):
+        """The analytic distribution must match observed sampling
+        frequencies — ties the fast sampler to the tree/softmax math."""
+        space = make_space(kind)
+        features = random_features(space, seed=2)
+        dnn_out = np.ones((1, 8)) * 0.5
+        dist = space.item_distribution(dnn_out, features)[0]
+        sampler = np.random.default_rng(11)
+        draws = 20000
+        counts = np.zeros(NUM_ITEMS)
+        batch = np.repeat(dnn_out, 500, axis=0)
+        for _ in range(draws // 500):
+            items = space.sample_step(batch, features, sampler).items
+            np.add.at(counts, items, 1)
+        empirical = counts / draws
+        # Total-variation distance small.
+        tv = 0.5 * np.abs(empirical - dist).sum()
+        assert tv < 0.05, f"TV distance {tv:.3f}"
+
+
+class TestBias:
+    def test_biased_spaces_oversample_targets(self, rng):
+        """With random features the two-stage designs give targets ~50%
+        probability; Plain gives |I_t|/|I u I_t| ~ 21%."""
+        draws = 3000
+        rates = {}
+        for kind in ("plain", "bplain", "bcbt-popular"):
+            space = make_space(kind)
+            features = random_features(space, seed=1) * 0.01
+            sampler = np.random.default_rng(7)
+            items = space.sample_step(np.zeros((draws, 8)), features,
+                                      sampler).items
+            rates[kind] = (items >= NUM_ORIGINAL).mean()
+        assert abs(rates["plain"] - 8 / 38) < 0.05
+        assert abs(rates["bplain"] - 0.5) < 0.05
+        assert abs(rates["bcbt-popular"] - 0.5) < 0.05
+
+    def test_plain_prefers_high_logit_items(self, rng):
+        space = make_space("plain")
+        features = np.zeros((NUM_ITEMS, 8))
+        features[5] = 10.0  # huge dot product with positive dnn output
+        items = space.sample_step(np.ones((200, 8)), features,
+                                  np.random.default_rng(3)).items
+        assert (items == 5).mean() > 0.95
+
+
+class TestValidation:
+    def test_noncontiguous_targets_rejected(self):
+        with pytest.raises(ValueError):
+            make_action_space("plain", 30, np.array([2, 35]),
+                              np.zeros(38))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_space("octree")
+
+    def test_tree_space_extra_rows_match_internal_nodes(self):
+        space = make_space("bcbt-popular")
+        assert space.num_extra_rows == NUM_ITEMS - 1
+
+    def test_plain_has_no_extra_rows(self):
+        assert make_space("plain").num_extra_rows == 0
+
+    def test_bplain_has_two_set_rows(self):
+        assert make_space("bplain").num_extra_rows == 2

@@ -1,0 +1,98 @@
+"""BCBT construction invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_bcbt
+from repro.core.bcbt import TreeArrays, _TreeBuilder
+
+
+def make_tree(num_original, num_targets, assignment="popular", seed=0):
+    num_items = num_original + num_targets
+    popularity = np.arange(num_items, 0, -1).astype(float)
+    popularity[num_original:] = 0.0  # targets are new items
+    return build_bcbt(num_original, np.arange(num_original, num_items),
+                      popularity, assignment=assignment,
+                      rng=np.random.default_rng(seed))
+
+
+class TestStructure:
+    def test_every_item_is_a_leaf_exactly_once(self):
+        tree = make_tree(50, 8)
+        leaves = tree.leaves_in_order()
+        assert sorted(leaves) == list(range(58))
+
+    def test_internal_count_is_items_minus_one(self):
+        # A full binary tree over n leaves has n-1 internal nodes.
+        tree = make_tree(50, 8)
+        assert tree.num_internal == 58 - 1
+
+    def test_root_splits_targets_from_originals(self):
+        tree = make_tree(50, 8)
+        left, right = tree.children(np.array([tree.root]))
+        left_leaves = TreeArrays(tree.num_items, int(left[0]),
+                                 tree.left_child,
+                                 tree.right_child).leaves_in_order()
+        assert set(left_leaves) == set(range(50, 58))
+
+    def test_depth_is_logarithmic(self):
+        tree = make_tree(1000, 8)
+        # 1 (root) + ceil(log2(1000)) for the original subtree.
+        assert tree.max_depth() <= 1 + 10 + 1
+
+    def test_popular_assignment_sorts_leaves(self):
+        tree = make_tree(20, 4)
+        leaves = tree.leaves_in_order()
+        originals = [leaf for leaf in leaves if leaf < 20]
+        # Popularity here decreases with item id, so sorted order = id order.
+        assert originals == sorted(originals)
+
+    def test_random_assignment_differs_from_popular(self):
+        popular = make_tree(40, 8, "popular").leaves_in_order()
+        random = make_tree(40, 8, "random", seed=1).leaves_in_order()
+        assert popular != random
+
+    def test_unknown_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            make_tree(10, 4, assignment="alphabetical")
+
+    def test_single_item_subtree(self):
+        tree = make_tree(1, 1)
+        assert tree.num_internal == 1  # just the root
+        assert sorted(tree.leaves_in_order()) == [0, 1]
+
+    def test_is_leaf(self):
+        tree = make_tree(10, 4)
+        assert tree.is_leaf(np.array([0, 5, 13])).all()
+        assert not tree.is_leaf(np.array([tree.root])).any()
+
+    def test_builder_rejects_empty(self):
+        with pytest.raises(ValueError):
+            _TreeBuilder(4).complete_tree([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_original=st.integers(1, 200), num_targets=st.integers(1, 16))
+def test_tree_invariants_hold_for_any_size(num_original, num_targets):
+    tree = make_tree(num_original, num_targets)
+    num_items = num_original + num_targets
+    leaves = tree.leaves_in_order()
+    assert sorted(leaves) == list(range(num_items))
+    assert tree.num_internal == num_items - 1
+    # Every path terminates within 1 (root) + the deeper subtree's height.
+    subtree_height = max(int(np.ceil(np.log2(max(num_original, 2)))),
+                         int(np.ceil(np.log2(max(num_targets, 2)))))
+    assert tree.max_depth() <= 1 + subtree_height + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(num_original=st.integers(4, 100))
+def test_popular_leaves_adjacent_in_popularity(num_original):
+    """Assumption 1: adjacent leaves have adjacent popularity ranks."""
+    tree = make_tree(num_original, 4)
+    leaves = [leaf for leaf in tree.leaves_in_order() if leaf < num_original]
+    # Leaf order equals popularity order (ids are popularity-ranked here).
+    diffs = np.diff(leaves)
+    assert (diffs == 1).all()

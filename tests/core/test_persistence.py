@@ -1,0 +1,69 @@
+"""Policy save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (PoisonRec, PoisonRecConfig, load_policy, save_policy)
+
+
+def make_agent(env, space="bcbt-popular", seed=0, dim=8):
+    cfg = PoisonRecConfig.ci(num_attackers=6, trajectory_length=8,
+                             samples_per_step=4, batch_size=4,
+                             embedding_dim=dim, seed=seed)
+    return PoisonRec(env, cfg, action_space=space)
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_parameters(self, itempop_env, tmp_path):
+        agent = make_agent(itempop_env)
+        agent.train(steps=1)
+        path = tmp_path / "policy.npz"
+        save_policy(agent, path)
+
+        fresh = make_agent(itempop_env)
+        originals = [p.data.copy() for p in fresh.policy.parameters()]
+        metadata = load_policy(fresh, path)
+        loaded = [p.data for p in fresh.policy.parameters()]
+        trained = [p.data for p in agent.policy.parameters()]
+        assert metadata["action_space"] == "bcbt-popular"
+        for restored, target in zip(loaded, trained):
+            np.testing.assert_allclose(restored, target)
+        assert any(not np.allclose(o, l)
+                   for o, l in zip(originals, loaded))
+
+    def test_loaded_policy_samples_identically(self, itempop_env, tmp_path):
+        agent = make_agent(itempop_env, seed=1)
+        agent.train(steps=1)
+        path = tmp_path / "policy.npz"
+        save_policy(agent, path)
+        fresh = make_agent(itempop_env, seed=2)
+        load_policy(fresh, path)
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        a = agent.policy.sample_rollout(5, rng_a).items
+        b = fresh.policy.sample_rollout(5, rng_b).items
+        np.testing.assert_array_equal(a, b)
+
+    def test_action_space_mismatch_rejected(self, itempop_env, tmp_path):
+        agent = make_agent(itempop_env, space="bcbt-popular")
+        path = tmp_path / "policy.npz"
+        save_policy(agent, path)
+        other = make_agent(itempop_env, space="plain")
+        with pytest.raises(ValueError, match="action_space"):
+            load_policy(other, path)
+
+    def test_dim_mismatch_rejected(self, itempop_env, tmp_path):
+        agent = make_agent(itempop_env, dim=8)
+        path = tmp_path / "policy.npz"
+        save_policy(agent, path)
+        other = make_agent(itempop_env, dim=16)
+        with pytest.raises(ValueError, match="dim"):
+            load_policy(other, path)
+
+    def test_metadata_records_best_reward(self, itempop_env, tmp_path):
+        agent = make_agent(itempop_env)
+        agent.result.best_reward = 42.0
+        path = tmp_path / "policy.npz"
+        save_policy(agent, path)
+        metadata = load_policy(make_agent(itempop_env), path)
+        assert metadata["best_reward"] == 42.0

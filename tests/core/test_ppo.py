@@ -1,0 +1,84 @@
+"""PPO trainer tests: normalization, updates, degenerate batches."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolicyNetwork, PPOTrainer, make_action_space
+from repro.core.ppo import Experience, normalize_rewards
+
+
+def make_setup(seed=0, num_attackers=4):
+    popularity = np.concatenate([np.arange(20, 0, -1.0), np.zeros(8)])
+    space = make_action_space("bcbt-popular", 20, np.arange(20, 28),
+                              popularity, seed=seed)
+    policy = PolicyNetwork(space, num_attackers, dim=8, seed=seed)
+    trainer = PPOTrainer(policy, learning_rate=1e-2, seed=seed)
+    return policy, trainer
+
+
+def collect(policy, rewards, rng):
+    return [Experience(rollout=policy.sample_rollout(5, rng), reward=r)
+            for r in rewards]
+
+
+class TestNormalizeRewards:
+    def test_zero_mean_unit_std(self):
+        normalized = normalize_rewards([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(normalized.mean(), 0.0, atol=1e-12)
+        np.testing.assert_allclose(normalized.std(), 1.0, atol=1e-12)
+
+    def test_order_preserved(self):
+        normalized = normalize_rewards([5.0, 1.0, 3.0])
+        assert normalized[0] > normalized[2] > normalized[1]
+
+    def test_degenerate_batch_gives_zeros(self):
+        np.testing.assert_allclose(normalize_rewards([7.0, 7.0, 7.0]), 0.0)
+        np.testing.assert_allclose(normalize_rewards([0.0, 0.0]), 0.0)
+
+
+class TestUpdate:
+    def test_update_changes_parameters(self, rng):
+        policy, trainer = make_setup()
+        before = [p.data.copy() for p in policy.parameters()]
+        experiences = collect(policy, [0.0, 1.0, 5.0, 10.0], rng)
+        trainer.update(experiences, epochs=2)
+        after = [p.data for p in policy.parameters()]
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+    def test_zero_variance_is_noop(self, rng):
+        policy, trainer = make_setup()
+        before = [p.data.copy() for p in policy.parameters()]
+        experiences = collect(policy, [3.0, 3.0, 3.0], rng)
+        losses = trainer.update(experiences, epochs=2)
+        after = [p.data for p in policy.parameters()]
+        assert all(np.allclose(b, a) for b, a in zip(before, after))
+        assert losses == [0.0, 0.0]
+
+    def test_empty_experiences(self):
+        _, trainer = make_setup()
+        assert trainer.update([], epochs=3) == []
+
+    def test_update_increases_good_trajectory_probability(self, rng):
+        """After updates, the highest-reward rollout must become more
+        likely under the policy (the policy-gradient direction)."""
+        policy, trainer = make_setup()
+        experiences = collect(policy, [0.0, 0.0, 0.0, 20.0], rng)
+        best = experiences[-1].rollout
+        before = (policy.rollout_log_probs(best.items, best.decisions)
+                  .numpy() * best.mask).sum()
+        trainer.update(experiences, epochs=4)
+        after = (policy.rollout_log_probs(best.items, best.decisions)
+                 .numpy() * best.mask).sum()
+        assert after > before
+
+    def test_minibatching_respects_batch_size(self, rng):
+        policy, trainer = make_setup()
+        experiences = collect(policy, list(range(6)), rng)
+        losses = trainer.update(experiences, epochs=3, batch_size=2)
+        assert len(losses) == 3
+
+    def test_losses_are_finite(self, rng):
+        policy, trainer = make_setup()
+        experiences = collect(policy, [1.0, 4.0, 9.0], rng)
+        losses = trainer.update(experiences, epochs=3)
+        assert all(np.isfinite(loss) for loss in losses)

@@ -1,0 +1,80 @@
+"""Cross-cutting property-based tests on the PoisonRec core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_action_space, normalize_rewards
+from repro.nn import Tensor, unbroadcast
+from repro.nn import functional as F
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0, 1e6), min_size=2, max_size=32))
+def test_normalize_rewards_properties(rewards):
+    """Eq. 8 output is scale-free: zero mean, unit (or zero) std."""
+    normalized = normalize_rewards(rewards)
+    assert len(normalized) == len(rewards)
+    assert abs(normalized.mean()) < 1e-6
+    std = normalized.std()
+    assert abs(std - 1.0) < 1e-6 or std == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 60), st.integers(1, 12), st.integers(1, 6))
+def test_tree_distribution_sums_to_one_any_size(num_original, num_targets,
+                                                batch):
+    """The BCBT leaf distribution is a proper distribution for any
+    catalog size and any DNN output."""
+    rng = np.random.default_rng(num_original * 31 + num_targets)
+    num_items = num_original + num_targets
+    popularity = rng.random(num_items)
+    space = make_action_space("bcbt-popular", num_original,
+                              np.arange(num_original, num_items),
+                              popularity)
+    features = rng.normal(0, 0.5,
+                          (num_items + space.num_extra_rows, 4))
+    dnn_out = rng.normal(size=(batch, 4))
+    dist = space.item_distribution(dnn_out, features)
+    np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-9)
+    assert (dist >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 40), st.integers(1, 8))
+def test_tree_sampling_always_terminates(num_original, num_targets):
+    rng = np.random.default_rng(7)
+    num_items = num_original + num_targets
+    space = make_action_space("bcbt-popular", num_original,
+                              np.arange(num_original, num_items),
+                              np.ones(num_items))
+    features = rng.normal(size=(num_items + space.num_extra_rows, 4))
+    step = space.sample_step(rng.normal(size=(5, 4)), features, rng)
+    assert ((step.items >= 0) & (step.items < num_items)).all()
+    # Every walker's path ends at a leaf within max_decisions levels.
+    assert step.mask.sum(axis=1).max() <= space.max_decisions
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(-3, 3), min_size=2, max_size=12))
+def test_ppo_ratio_identity_at_same_params(values):
+    """exp(new_lp - old_lp) == 1 when parameters are unchanged, so the
+    clipped objective equals the advantage itself."""
+    old_lp = Tensor(np.asarray(values))
+    new_lp = Tensor(np.asarray(values))
+    ratio = F.exp(new_lp - old_lp)
+    np.testing.assert_allclose(ratio.numpy(), 1.0, atol=1e-12)
+    clipped = F.clip(ratio, 0.9, 1.1)
+    np.testing.assert_allclose(clipped.numpy(), 1.0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+def test_unbroadcast_inverts_broadcasting(a, b, c):
+    """For any broadcastable shape pair, unbroadcast returns the original
+    shape and preserves total mass."""
+    grad = np.ones((a, b, c))
+    for shape in [(b, c), (1, c), (b, 1), (a, b, c), (1, b, 1)]:
+        out = unbroadcast(grad, shape)
+        assert out.shape == shape
+        np.testing.assert_allclose(out.sum(), grad.sum())

@@ -1,0 +1,65 @@
+"""Popularity utilities tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (InteractionLog, item_popularity, popularity_rank,
+                        top_percent_items, zipf_weights)
+
+
+class TestPopularityRank:
+    def test_descending_with_id_tiebreak(self):
+        pop = np.array([5, 9, 5, 0])
+        np.testing.assert_array_equal(popularity_rank(pop), [1, 0, 2, 3])
+
+    def test_all_equal_yields_id_order(self):
+        pop = np.ones(5)
+        np.testing.assert_array_equal(popularity_rank(pop), np.arange(5))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    def test_rank_is_permutation_and_sorted(self, values):
+        pop = np.asarray(values)
+        rank = popularity_rank(pop)
+        assert sorted(rank.tolist()) == list(range(len(pop)))
+        ranked_values = pop[rank]
+        assert all(ranked_values[i] >= ranked_values[i + 1]
+                   for i in range(len(pop) - 1))
+
+
+class TestTopPercent:
+    def test_ten_percent(self):
+        pop = np.arange(100)[::-1]
+        top = top_percent_items(pop, 10.0)
+        np.testing.assert_array_equal(top, np.arange(10))
+
+    def test_at_least_one_item(self):
+        assert len(top_percent_items(np.array([3.0, 1.0]), 1.0)) == 1
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            top_percent_items(np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            top_percent_items(np.ones(3), 101.0)
+
+
+class TestZipf:
+    def test_normalized_and_decreasing(self):
+        w = zipf_weights(50, 1.0)
+        np.testing.assert_allclose(w.sum(), 1.0)
+        assert all(w[i] >= w[i + 1] for i in range(49))
+
+    def test_exponent_zero_is_uniform(self):
+        np.testing.assert_allclose(zipf_weights(4, 0.0), np.full(4, 0.25))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+def test_item_popularity_equals_counts():
+    log = InteractionLog(3)
+    log.add_sequence(0, [0, 0, 2])
+    np.testing.assert_array_equal(item_popularity(log), [2, 0, 1])

@@ -1,0 +1,45 @@
+"""Leave-one-out split tests."""
+
+from repro.data import InteractionLog, leave_one_out_split
+
+
+def build_log(sequences):
+    num_items = max(max(s) for s in sequences.values()) + 1
+    log = InteractionLog(num_items)
+    for user, seq in sequences.items():
+        log.add_sequence(user, seq)
+    return log
+
+
+class TestLeaveOneOut:
+    def test_last_two_held_out(self):
+        log = build_log({0: [1, 2, 3, 4]})
+        ds = leave_one_out_split("t", log)
+        assert ds.train.sequence(0) == [1, 2]
+        assert ds.validation[0] == 3
+        assert ds.test[0] == 4
+
+    def test_short_users_dropped(self):
+        log = build_log({0: [1, 2], 1: [1, 2, 3]})
+        ds = leave_one_out_split("t", log)
+        assert 0 not in ds.train
+        assert 1 in ds.train
+
+    def test_min_behaviors_boundary(self):
+        log = build_log({0: [1, 2, 3]})
+        ds = leave_one_out_split("t", log, min_behaviors=3)
+        assert ds.train.sequence(0) == [1]
+        assert ds.validation[0] == 2
+        assert ds.test[0] == 3
+
+    def test_no_interaction_lost_or_duplicated(self):
+        log = build_log({u: list(range(1, 4 + u)) for u in range(5)})
+        ds = leave_one_out_split("t", log)
+        total = (ds.train.num_interactions + len(ds.validation)
+                 + len(ds.test))
+        assert total == log.num_interactions
+
+    def test_item_universe_preserved(self):
+        log = build_log({0: [9, 1, 2]})
+        ds = leave_one_out_split("t", log)
+        assert ds.train.num_items == log.num_items

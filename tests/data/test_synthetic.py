@@ -1,0 +1,103 @@
+"""Synthetic dataset generator tests: determinism, statistics, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DATASET_NAMES, PAPER_SPECS, DatasetSpec, generate_log,
+                        load_dataset, scaled_spec)
+
+
+class TestScaledSpec:
+    def test_paper_scale_preserves_counts(self):
+        spec = PAPER_SPECS["steam"]
+        scaled = scaled_spec(spec, 1.0)
+        assert scaled.num_users == spec.num_users
+        assert scaled.num_items == spec.num_items
+
+    def test_shrinks_proportionally(self):
+        spec = PAPER_SPECS["phone"]
+        scaled = scaled_spec(spec, 0.1)
+        assert scaled.num_users == pytest.approx(spec.num_users * 0.1, rel=0.05)
+        assert scaled.num_items == pytest.approx(spec.num_items * 0.1, rel=0.05)
+
+    def test_floors_apply(self):
+        spec = PAPER_SPECS["steam"]
+        scaled = scaled_spec(spec, 1e-6)
+        assert scaled.num_users >= 30
+        assert scaled.num_items >= 40
+        assert scaled.num_samples >= scaled.num_users * 3
+
+    def test_density_cap(self):
+        # MovieLens at tiny scale would otherwise exceed items/2 per user.
+        spec = PAPER_SPECS["movielens"]
+        scaled = scaled_spec(spec, 0.02)
+        assert scaled.num_samples / scaled.num_users <= scaled.num_items / 2 + 1
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            scaled_spec(PAPER_SPECS["steam"], 0.0)
+
+
+class TestGenerateLog:
+    SPEC = DatasetSpec(name="g", num_users=50, num_items=80, num_samples=600,
+                       num_clusters=6)
+
+    def test_deterministic(self):
+        a = generate_log(self.SPEC, seed=3)
+        b = generate_log(self.SPEC, seed=3)
+        assert a.num_interactions == b.num_interactions
+        for user in a.users:
+            assert a.sequence(user) == b.sequence(user)
+
+    def test_different_seeds_differ(self):
+        a = generate_log(self.SPEC, seed=1)
+        b = generate_log(self.SPEC, seed=2)
+        assert any(a.sequence(u) != b.sequence(u) for u in a.users)
+
+    def test_every_user_has_min_length(self):
+        log = generate_log(self.SPEC, seed=0)
+        assert all(len(log.sequence(u)) >= self.SPEC.min_sequence_length
+                   for u in log.users)
+
+    def test_sample_count_near_target(self):
+        log = generate_log(self.SPEC, seed=0)
+        assert log.num_interactions == pytest.approx(self.SPEC.num_samples,
+                                                     rel=0.5)
+
+    def test_popularity_is_skewed(self):
+        log = generate_log(self.SPEC, seed=0)
+        counts = np.sort(log.item_counts())[::-1]
+        top_share = counts[:8].sum() / counts.sum()
+        assert top_share > 2 * (8 / self.SPEC.num_items)
+
+
+class TestLoadDataset:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            ds = load_dataset(name, scale="ci", seed=0)
+            assert ds.num_users > 0
+            assert ds.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("netflix")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("steam", scale="giant")
+
+    def test_float_scale_accepted(self):
+        ds = load_dataset("steam", scale=0.01, seed=0)
+        assert ds.num_users >= 30
+
+    def test_deterministic_by_seed(self):
+        a = load_dataset("steam", scale="ci", seed=5)
+        b = load_dataset("steam", scale="ci", seed=5)
+        assert a.test == b.test
+
+    def test_movielens_denser_than_steam(self):
+        steam = load_dataset("steam", scale="ci", seed=0)
+        ml = load_dataset("movielens", scale="ci", seed=0)
+        steam_freq = (steam.train.num_interactions / steam.num_items)
+        ml_freq = ml.train.num_interactions / ml.num_items
+        assert ml_freq > 2 * steam_freq

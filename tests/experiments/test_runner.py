@@ -1,0 +1,74 @@
+"""Experiment harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (SCALES, build_environment, format_series,
+                               format_table, resolve_scale, run_baseline,
+                               run_poisonrec)
+
+
+class TestScaleResolution:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale().name == "ci"
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert resolve_scale().name == "small"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert resolve_scale("ci").name == "ci"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    def test_paper_scale_matches_paper_defaults(self):
+        paper = SCALES["paper"]
+        cfg = paper.config()
+        assert cfg.num_attackers == 20
+        assert cfg.trajectory_length == 20
+        assert cfg.embedding_dim == 64
+        assert cfg.samples_per_step == 32
+
+    def test_budget_derived_from_scale(self):
+        budget = SCALES["ci"].budget()
+        assert budget.num_attackers == SCALES["ci"].num_attackers
+
+
+class TestBuildAndRun:
+    def test_build_environment(self):
+        scale = SCALES["ci"]
+        dataset, system, env = build_environment("steam", "itempop", scale,
+                                                 seed=0)
+        assert dataset.name == "steam"
+        assert system.ranker.name == "itempop"
+        assert env.num_original_items == dataset.num_items
+
+    def test_run_baseline_returns_recnum(self):
+        scale = SCALES["ci"]
+        _, system, env = build_environment("steam", "itempop", scale, seed=0)
+        recnum = run_baseline("popular", env, system, scale, seed=0)
+        assert recnum >= 0
+
+    @pytest.mark.slow
+    def test_run_poisonrec_short(self):
+        scale = SCALES["ci"]
+        _, _, env = build_environment("steam", "itempop", scale, seed=0)
+        result = run_poisonrec(env, scale, seed=0, steps=2)
+        assert len(result.history) == 2
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[2:])) == 1
+
+    def test_format_series(self):
+        text = format_series("curve", [1.0, 2.5])
+        assert text == "curve: [1.0, 2.5]"

@@ -1,0 +1,160 @@
+"""Gradient and semantic tests for the functional ops."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def gradcheck(fn, x0, eps=1e-6, tol=1e-5):
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    ana = x.grad
+    num = np.zeros_like(x0)
+    for idx in np.ndindex(*x0.shape):
+        xp = x0.copy()
+        xp[idx] += eps
+        xm = x0.copy()
+        xm[idx] -= eps
+        num[idx] = (float(fn(Tensor(xp)).data.sum())
+                    - float(fn(Tensor(xm)).data.sum())) / (2 * eps)
+    np.testing.assert_allclose(ana, num, atol=tol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(42)
+X0 = RNG.normal(size=(3, 5))
+
+
+@pytest.mark.parametrize("name,fn", [
+    ("exp", lambda x: F.exp(x).sum()),
+    ("log", lambda x: F.log(F.exp(x)).sum()),
+    ("sqrt", lambda x: F.sqrt(F.exp(x)).sum()),
+    ("relu", lambda x: (F.relu(x) * x).sum()),
+    ("sigmoid", lambda x: F.sigmoid(x).sum()),
+    ("tanh", lambda x: F.tanh(x).sum()),
+    ("softmax", lambda x: (F.softmax(x) * x).sum()),
+    ("log_softmax", lambda x: F.log_softmax(x).sum()),
+    ("logsigmoid", lambda x: F.logsigmoid(x).sum()),
+    ("leaky_relu", lambda x: (F.leaky_relu(x) * x).sum()),
+])
+def test_gradcheck(name, fn):
+    gradcheck(fn, X0.copy())
+
+
+class TestSemantics:
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(Tensor(X0)).numpy()
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(3), atol=1e-12)
+        assert (out > 0).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        a = F.log_softmax(Tensor(X0)).numpy()
+        b = np.log(F.softmax(Tensor(X0)).numpy())
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_softmax_stable_for_large_logits(self):
+        big = Tensor(np.array([[1000.0, 1000.0, 0.0]]))
+        out = F.softmax(big).numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5], atol=1e-6)
+
+    def test_sigmoid_extreme_inputs_finite(self):
+        out = F.sigmoid(Tensor(np.array([-1e4, 1e4]))).numpy()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_logsigmoid_matches_log_sigmoid(self):
+        x = np.linspace(-10, 10, 21)
+        a = F.logsigmoid(Tensor(x)).numpy()
+        b = np.log(1.0 / (1.0 + np.exp(-x)))
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_relu_zeroes_negatives(self):
+        out = F.relu(Tensor(np.array([-1.0, 0.0, 2.0]))).numpy()
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_clip_bounds_and_grad_mask(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        out = F.clip(x, 0.0, 1.0)
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_minimum_routes_gradient(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        F.minimum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestLosses:
+    def test_bce_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        targets = np.array([0.0, 1.0, 1.0])
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        expected = -(targets * np.log(probs)
+                     + (1 - targets) * np.log(1 - probs)).mean()
+        np.testing.assert_allclose(loss.item(), expected, atol=1e-10)
+
+    def test_bce_gradient(self):
+        logits0 = np.array([-1.0, 0.5, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        x = Tensor(logits0, requires_grad=True)
+        F.binary_cross_entropy_with_logits(x, targets).backward()
+        probs = 1.0 / (1.0 + np.exp(-logits0))
+        np.testing.assert_allclose(x.grad, (probs - targets) / 3.0,
+                                   atol=1e-10)
+
+    def test_mse_loss_plain(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), 2.5)
+
+    def test_mse_loss_weighted_ignores_masked(self):
+        pred = Tensor(np.array([1.0, 100.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]),
+                          weight=np.array([1.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), 1.0)
+
+
+class TestDropoutAndSpmm:
+    def test_dropout_identity_when_eval(self, rng):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, 0.5, rng, training=True).numpy()
+        assert abs(out.mean() - 1.0) < 0.1
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+
+    def test_spmm_forward_and_grad(self):
+        a = sp.csr_matrix(np.array([[1.0, 0.0], [2.0, 3.0]]))
+        x = Tensor(np.array([[1.0], [10.0]]), requires_grad=True)
+        out = F.spmm(a, x)
+        np.testing.assert_allclose(out.numpy(), [[1.0], [32.0]])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[3.0], [3.0]])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(-30, 30), min_size=2, max_size=10))
+def test_softmax_is_shift_invariant(values):
+    x = np.asarray(values)
+    a = F.softmax(Tensor(x)).numpy()
+    b = F.softmax(Tensor(x + 100.0)).numpy()
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(-20, 20), min_size=2, max_size=10))
+def test_log_softmax_normalizes(values):
+    x = np.asarray(values)
+    lp = F.log_softmax(Tensor(x)).numpy()
+    np.testing.assert_allclose(np.exp(lp).sum(), 1.0, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Layer and module-tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dense, Embedding, Module, Tensor
+
+
+class TestModule:
+    def test_parameters_discovers_nested(self, rng):
+        class Outer(Module):
+            def __init__(self):
+                self.layer = Dense(3, 4, rng)
+                self.raw = Tensor(np.ones(2), requires_grad=True)
+                self.blocks = [Dense(4, 4, rng), Dense(4, 2, rng)]
+
+        outer = Outer()
+        params = list(outer.parameters())
+        # 3 Dense layers x (weight, bias) + raw
+        assert len(params) == 7
+
+    def test_parameters_deduplicates_shared(self, rng):
+        class Shared(Module):
+            def __init__(self):
+                self.a = Dense(2, 2, rng)
+                self.b = self.a  # shared submodule
+
+        assert len(list(Shared().parameters())) == 2
+
+    def test_zero_grad_clears_all(self, rng):
+        mlp = MLP([2, 3, 1], rng)
+        out = mlp(Tensor(np.ones((4, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_num_parameters(self, rng):
+        layer = Dense(3, 4, rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 3, rng)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Dense(5, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    @pytest.mark.parametrize("activation,check", [
+        ("relu", lambda out: (out >= 0).all()),
+        ("sigmoid", lambda out: ((out > 0) & (out < 1)).all()),
+        ("tanh", lambda out: ((out > -1) & (out < 1)).all()),
+    ])
+    def test_activations(self, rng, activation, check):
+        layer = Dense(4, 4, rng, activation=activation)
+        out = layer(Tensor(rng.normal(size=(10, 4)))).numpy()
+        assert check(out)
+
+    def test_unknown_activation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(2, 2, rng, activation="gelu")
+
+
+class TestEmbedding:
+    def test_lookup_shape_and_values(self, rng):
+        emb = Embedding(10, 4, rng)
+        ids = np.array([0, 3, 3])
+        out = emb(ids)
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.numpy()[1], out.numpy()[2])
+
+    def test_gradient_accumulates_on_repeated_ids(self, rng):
+        emb = Embedding(5, 2, rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(grad[0], [0.0, 0.0])
+
+
+class TestMLP:
+    def test_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_depth_and_output_shape(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng)
+        assert len(mlp.layers) == 3
+        out = mlp(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_hidden_relu_last_linear(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        assert mlp.layers[0].activation == "relu"
+        assert mlp.layers[-1].activation == "linear"

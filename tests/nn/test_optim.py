@@ -1,0 +1,93 @@
+"""Optimizer behavior: convergence, moments, clipping, weight decay."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, SGD, Adam, Tensor
+from repro.nn import functional as F
+
+
+def quadratic_loss(param):
+    return ((param - 3.0) * (param - 3.0)).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), np.full(3, 3.0), atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.full(2, 10.0), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.numpy(), np.full(2, 9.0))
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no gradient computed: must be a no-op
+        np.testing.assert_allclose(p.numpy(), np.ones(2))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), np.full(3, 3.0), atol=1e-3)
+
+    def test_first_step_size_close_to_lr(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        (p * 5.0).sum().backward()
+        opt.step()
+        # Bias-corrected Adam's first step is ~lr regardless of grad scale.
+        np.testing.assert_allclose(abs(p.numpy()[0]), 0.01, rtol=1e-5)
+
+    def test_trains_mlp_below_initial_loss(self, rng):
+        mlp = MLP([4, 16, 1], rng)
+        opt = Adam(list(mlp.parameters()), lr=0.01)
+        x = Tensor(rng.normal(size=(32, 4)))
+        y = rng.normal(size=(32, 1))
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            loss = F.mse_loss(mlp(x), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5
+
+
+class TestGradClipping:
+    def test_norm_reported_and_scaled(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        p.grad = np.full(4, 3.0)  # norm = 6
+        norm = opt.clip_grad_norm(3.0)
+        np.testing.assert_allclose(norm, 6.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 3.0)
+
+    def test_below_threshold_untouched(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        p.grad = np.full(4, 0.1)
+        before = p.grad.copy()
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_allclose(p.grad, before)

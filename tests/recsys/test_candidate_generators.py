@@ -1,0 +1,149 @@
+"""Tests for the production-style candidate generators."""
+
+import numpy as np
+import pytest
+
+from repro.recsys import (ModelCandidateGenerator,
+                          PopularityCandidateGenerator,
+                          RandomCandidateGenerator, RecommenderSystem)
+
+NUM_ORIGINAL = 60
+TARGETS = np.arange(60, 68)
+
+
+def popularity_vector():
+    return np.arange(NUM_ORIGINAL, 0, -1.0)  # item 0 most popular
+
+
+class TestPopularityGenerator:
+    def make(self, head_fraction=0.5, count=20):
+        return PopularityCandidateGenerator(
+            NUM_ORIGINAL, TARGETS, popularity_vector(),
+            num_original_candidates=count, seed=0,
+            head_fraction=head_fraction)
+
+    def test_head_is_most_popular(self):
+        gen = self.make()
+        np.testing.assert_array_equal(np.sort(gen.head), np.arange(10))
+
+    def test_every_row_contains_head_and_targets(self):
+        gen = self.make()
+        rows = gen.generate(5)
+        for row in rows:
+            assert set(gen.head) <= set(row)
+            assert set(TARGETS) <= set(row)
+
+    def test_rows_have_no_duplicates(self):
+        rows = self.make().generate(8)
+        for row in rows:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_head_fraction_one_is_pure_popularity(self):
+        gen = self.make(head_fraction=1.0)
+        rows = gen.generate(3)
+        for row in rows:
+            originals = sorted(i for i in row if i < NUM_ORIGINAL)
+            assert originals == list(range(20))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(head_fraction=1.5)
+
+
+class TestModelGenerator:
+    def make(self, exploration=0.0):
+        rng = np.random.default_rng(0)
+        dim = 4
+        user_factors = rng.normal(size=(10, dim))
+        item_factors = rng.normal(size=(NUM_ORIGINAL + 8, dim))
+        return ModelCandidateGenerator(
+            NUM_ORIGINAL, TARGETS, user_factors, item_factors,
+            user_ids=np.arange(10), num_original_candidates=20, seed=0,
+            exploration_fraction=exploration), user_factors, item_factors
+
+    def test_retrieves_top_scoring_items(self):
+        gen, user_factors, item_factors = self.make(exploration=0.0)
+        rows = gen.generate(10)
+        scores = user_factors @ item_factors[:NUM_ORIGINAL].T
+        for row_index in range(10):
+            expected = set(np.argsort(-scores[row_index],
+                                      kind="stable")[:20].tolist())
+            originals = set(i for i in rows[row_index] if i < NUM_ORIGINAL)
+            assert originals == expected
+
+    def test_refresh_changes_candidates(self):
+        gen, user_factors, item_factors = self.make(exploration=0.0)
+        before = gen.generate(10)
+        gen.refresh(-user_factors, item_factors)  # invert preferences
+        after = gen.generate(10)
+        assert not np.array_equal(np.sort(before, axis=1),
+                                  np.sort(after, axis=1))
+
+    def test_exploration_adds_random_items(self):
+        gen, *_ = self.make(exploration=0.5)
+        rows = gen.generate(10)
+        assert rows.shape == (10, 28)
+        for row in rows:
+            assert len(set(row.tolist())) == len(row)
+
+
+class TestSystemIntegration:
+    def test_popularity_generator_by_name(self, tiny_dataset):
+        system = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                   num_attackers=6,
+                                   candidate_generator="popularity")
+        assert isinstance(system.candidate_generator,
+                          PopularityCandidateGenerator)
+        assert system.recnum() >= 0
+
+    def test_unknown_generator_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                              candidate_generator="oracle")
+
+    def test_generator_instance_accepted(self, tiny_dataset):
+        generator = RandomCandidateGenerator(
+            tiny_dataset.num_items,
+            np.arange(tiny_dataset.num_items, tiny_dataset.num_items + 8),
+            seed=0)
+        system = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                   num_attackers=6,
+                                   candidate_generator=generator)
+        assert system.candidate_generator is generator
+
+    def test_query_count_increments(self, tiny_dataset):
+        system = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                   num_attackers=6)
+        assert system.query_count == 0
+        target = int(system.target_items[0])
+        system.attack([[target] * 5])
+        system.attack([[target] * 5])
+        assert system.query_count == 2
+
+    def test_model_generator_full_system_flow(self, tiny_dataset):
+        """Two-tower retrieval candidates drive the whole RecNum pipeline."""
+        from repro.recsys import PMF
+        retrieval = PMF(tiny_dataset.num_users + 20,
+                        tiny_dataset.num_items + 8, seed=0, epochs=3)
+        system = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                   num_attackers=6)
+        retrieval.fit(system.clean_log)
+        generator = ModelCandidateGenerator(
+            system.num_original_items, system.target_items,
+            retrieval.user_factors, retrieval.item_factors,
+            user_ids=system.eval_users, num_original_candidates=20, seed=0)
+        modeled = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                    num_attackers=6,
+                                    candidate_generator=generator)
+        assert modeled.candidates.shape == (len(modeled.eval_users), 28)
+        assert modeled.recnum() >= 0
+
+    def test_target_exposures_sum_to_recnum(self, tiny_dataset):
+        system = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                   num_attackers=6)
+        target = int(system.target_items[2])
+        system.attack([[target] * 40 for _ in range(6)])
+        exposures = system.target_exposures()
+        assert exposures.sum() == system.recnum()
+        # The flooded target dominates its siblings.
+        assert exposures[2] == exposures.max()

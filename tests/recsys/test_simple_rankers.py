@@ -1,0 +1,115 @@
+"""ItemPop and CoVisitation ranker tests."""
+
+import numpy as np
+
+from repro.data import InteractionLog
+from repro.recsys import CoVisitation, ItemPop
+
+
+def make_log(num_items, sequences):
+    log = InteractionLog(num_items)
+    for user, seq in sequences.items():
+        log.add_sequence(user, seq)
+    return log
+
+
+class TestItemPop:
+    def test_scores_are_counts(self):
+        log = make_log(5, {0: [1, 1, 2], 1: [2]})
+        ranker = ItemPop(4, 5)
+        ranker.fit(log)
+        np.testing.assert_allclose(ranker.score(0, np.arange(5)),
+                                   [0, 2, 2, 0, 0])
+
+    def test_score_batch_matches_score(self):
+        log = make_log(5, {0: [1, 2, 3]})
+        ranker = ItemPop(4, 5)
+        ranker.fit(log)
+        candidates = np.array([[0, 1], [3, 4]])
+        batch = ranker.score_batch(np.array([0, 1]), candidates)
+        np.testing.assert_allclose(batch[0], ranker.score(0, candidates[0]))
+
+    def test_poison_update_adds_counts(self):
+        log = make_log(5, {0: [1]})
+        ranker = ItemPop(4, 5)
+        ranker.fit(log)
+        poison = make_log(5, {3: [4, 4, 4]})
+        ranker.poison_update(log.merged_with(poison), poison)
+        assert ranker.score(0, np.array([4]))[0] == 3
+
+    def test_snapshot_restore_roundtrip(self):
+        log = make_log(5, {0: [1]})
+        ranker = ItemPop(4, 5)
+        ranker.fit(log)
+        state = ranker.snapshot()
+        poison = make_log(5, {3: [4] * 10})
+        ranker.poison_update(log.merged_with(poison), poison)
+        assert ranker.score(0, np.array([4]))[0] == 10
+        ranker.restore(state)
+        assert ranker.score(0, np.array([4]))[0] == 0
+
+
+class TestCoVisitation:
+    def test_consecutive_clicks_create_edges(self):
+        log = make_log(5, {0: [1, 2], 1: [2]})
+        ranker = CoVisitation(4, 5)
+        ranker.fit(log)
+        # user 0 has history [1, 2]; item scores reflect co-visits
+        scores = ranker.score(0, np.arange(5))
+        assert scores[1] > 0  # 2 -> 1 edge
+        assert scores[2] > 0  # 1 -> 2 edge
+        assert scores[3] == 0
+
+    def test_no_history_scores_zero(self):
+        log = make_log(5, {0: [1, 2]})
+        ranker = CoVisitation(4, 5)
+        ranker.fit(log)
+        np.testing.assert_allclose(ranker.score(3, np.arange(5)), 0.0)
+
+    def test_self_transitions_ignored(self):
+        log = make_log(5, {0: [1, 1, 1]})
+        ranker = CoVisitation(4, 5)
+        ranker.fit(log)
+        assert ranker.out_degree[1] == 0
+
+    def test_poison_update_only_adds_poison_edges(self):
+        log = make_log(6, {0: [1, 2]})
+        ranker = CoVisitation(4, 6)
+        ranker.fit(log)
+        poison = make_log(6, {3: [5, 2]})
+        ranker.poison_update(log.merged_with(poison), poison)
+        # user 0 history [1,2]: item 5 now co-visited with 2
+        scores = ranker.score(0, np.arange(6))
+        assert scores[5] > 0
+
+    def test_order_sensitivity(self):
+        """Clicking target right after popular items links them; clicking
+        targets in an isolated block does not."""
+        base = make_log(8, {u: [0, 1] for u in range(4)})
+        linked = CoVisitation(10, 8)
+        linked.fit(base)
+        poison_linked = make_log(8, {9: [0, 7, 0, 7]})
+        linked.poison_update(base.merged_with(poison_linked), poison_linked)
+
+        isolated = CoVisitation(10, 8)
+        isolated.fit(base)
+        poison_isolated = make_log(8, {9: [7, 7, 7, 7]})
+        isolated.poison_update(base.merged_with(poison_isolated),
+                               poison_isolated)
+
+        users = np.arange(4)
+        cands = np.tile(np.arange(8), (4, 1))
+        linked_score = linked.score_batch(users, cands)[:, 7].sum()
+        isolated_score = isolated.score_batch(users, cands)[:, 7].sum()
+        assert linked_score > isolated_score
+
+    def test_snapshot_restore(self):
+        log = make_log(5, {0: [1, 2]})
+        ranker = CoVisitation(4, 5)
+        ranker.fit(log)
+        state = ranker.snapshot()
+        poison = make_log(5, {3: [4, 2]})
+        ranker.poison_update(log.merged_with(poison), poison)
+        assert ranker.score(0, np.arange(5))[4] > 0
+        ranker.restore(state)
+        assert ranker.score(0, np.arange(5))[4] == 0

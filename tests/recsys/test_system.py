@@ -1,0 +1,112 @@
+"""RecommenderSystem / BlackBoxEnvironment semantics."""
+
+import numpy as np
+import pytest
+
+from repro.recsys import (BlackBoxEnvironment, RandomCandidateGenerator,
+                          RecommenderSystem, make_ranker, RANKER_NAMES)
+
+
+class TestCandidateGenerator:
+    def test_shape_and_contents(self):
+        gen = RandomCandidateGenerator(100, np.arange(100, 108), seed=0)
+        cands = gen.generate(5)
+        assert cands.shape == (5, 100)
+        for row in cands:
+            assert set(np.arange(100, 108)) <= set(row)
+            assert len(set(row.tolist())) == 100  # no duplicates
+
+    def test_candidate_count_clamped_to_catalog(self):
+        gen = RandomCandidateGenerator(50, np.arange(50, 58),
+                                       num_original_candidates=92, seed=0)
+        assert gen.candidate_size == 58
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(ValueError):
+            RandomCandidateGenerator(0, np.arange(3))
+
+
+class TestRecommenderSystem:
+    def test_target_items_appended(self, itempop_system):
+        system = itempop_system
+        assert system.num_items == system.num_original_items + 8
+        np.testing.assert_array_equal(
+            system.target_items,
+            np.arange(system.num_original_items, system.num_items))
+
+    def test_clean_recnum_is_stable(self, itempop_system):
+        itempop_system.reset()
+        assert itempop_system.recnum() == itempop_system.recnum()
+
+    def test_attack_resets_before_injecting(self, itempop_system):
+        system = itempop_system
+        target = int(system.target_items[0])
+        flood = [[target] * 20 for _ in range(6)]
+        first = system.attack(flood)
+        second = system.attack(flood)
+        assert first == second  # no cross-attack accumulation
+
+    def test_attack_moves_recnum(self, itempop_system):
+        system = itempop_system
+        target = int(system.target_items[0])
+        flood = [[target] * 30 for _ in range(6)]
+        system.reset()
+        clean = system.recnum()
+        assert system.attack(flood) > clean
+
+    def test_too_many_trajectories_rejected(self, itempop_system):
+        with pytest.raises(ValueError):
+            itempop_system.build_poison_log([[0]] * 99)
+
+    def test_poison_log_uses_attacker_accounts(self, itempop_system):
+        system = itempop_system
+        poison = system.build_poison_log([[0, 1], [2]])
+        assert poison.users == list(system.attacker_users[:2])
+
+    def test_recommend_shape(self, itempop_system):
+        itempop_system.reset()
+        recs = itempop_system.recommend()
+        assert recs.shape == (len(itempop_system.eval_users),
+                              itempop_system.top_k)
+
+    def test_eval_user_sample(self, tiny_dataset):
+        system = RecommenderSystem(tiny_dataset, "itempop", seed=0,
+                                   eval_user_sample=10)
+        assert len(system.eval_users) == 10
+
+    def test_ranker_instance_accepted(self, tiny_dataset):
+        ranker = make_ranker("itempop",
+                             num_users=tiny_dataset.num_users + 20,
+                             num_items=tiny_dataset.num_items + 8)
+        system = RecommenderSystem(tiny_dataset, ranker, seed=0)
+        assert system.ranker is ranker
+
+
+class TestBlackBoxEnvironment:
+    def test_exposes_only_public_knowledge(self, itempop_env):
+        env = itempop_env
+        assert env.num_original_items > 0
+        assert len(env.target_items) == 8
+        assert env.item_popularity.shape == (env.num_items,)
+        # Target items are new: zero crawled popularity.
+        np.testing.assert_allclose(env.item_popularity[env.target_items], 0.0)
+
+    def test_attack_returns_recnum(self, itempop_env):
+        env = itempop_env
+        target = int(env.target_items[0])
+        recnum = env.attack([[target] * 30 for _ in range(6)])
+        assert recnum > env.clean_recnum()
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in RANKER_NAMES:
+            ranker = make_ranker(name, num_users=10, num_items=12, seed=0)
+            assert ranker.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_ranker("svdpp", 10, 10)
+
+    def test_eight_rankers(self):
+        assert len(RANKER_NAMES) == 8

@@ -1,0 +1,55 @@
+"""CLI smoke tests (argument parsing and fast subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.scale == "ci"
+
+    def test_attack_arguments(self):
+        args = build_parser().parse_args(
+            ["attack", "--dataset", "phone", "--ranker", "bpr",
+             "--method", "popular", "--seed", "3"])
+        assert args.dataset == "phone"
+        assert args.ranker == "bpr"
+        assert args.method == "popular"
+        assert args.seed == 3
+
+    def test_invalid_ranker_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--ranker", "svd"])
+
+
+class TestCommands:
+    def test_datasets_prints_table(self, capsys):
+        assert main(["datasets", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steam", "movielens", "phone", "clothing"):
+            assert name in out
+
+    def test_evaluate_runs(self, capsys):
+        assert main(["evaluate", "--dataset", "steam",
+                     "--ranker", "itempop"]) == 0
+        out = capsys.readouterr().out
+        assert "HR@10" in out
+
+    def test_attack_baseline_runs(self, capsys):
+        assert main(["attack", "--dataset", "steam", "--ranker", "itempop",
+                     "--method", "popular"]) == 0
+        out = capsys.readouterr().out
+        assert "popular RecNum:" in out
+
+    @pytest.mark.slow
+    def test_attack_poisonrec_runs(self, capsys):
+        assert main(["attack", "--dataset", "steam", "--ranker", "itempop",
+                     "--method", "poisonrec", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "poisonrec best RecNum:" in out

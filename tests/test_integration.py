@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test drives the real pipeline: synthetic dataset -> recommender
+system -> black-box environment -> attack -> RecNum, at sizes that keep
+the full module under a minute.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (BlackBoxEnvironment, PoisonRec, PoisonRecConfig,
+                   RecommenderSystem, load_dataset)
+from repro.attacks import AttackBudget, BASELINE_CLASSES
+from repro.recsys import RANKER_NAMES
+
+
+@pytest.fixture(scope="module")
+def steam_ci():
+    return load_dataset("steam", scale="ci", seed=0)
+
+
+@pytest.mark.parametrize("ranker_name", RANKER_NAMES)
+def test_every_ranker_survives_full_attack_cycle(steam_ci, ranker_name):
+    """Fit, snapshot, poison, measure, reset — for all 8 testbeds."""
+    system = RecommenderSystem(steam_ci, ranker_name, seed=0,
+                               num_attackers=10)
+    env = BlackBoxEnvironment(system)
+    clean = env.clean_recnum()
+    target = int(env.target_items[0])
+    popular = int(np.argmax(env.item_popularity[:env.num_original_items]))
+    trajectories = [[target if s % 2 == 0 else popular for s in range(12)]
+                    for _ in range(10)]
+    poisoned = env.attack(trajectories)
+    assert poisoned >= 0
+    # Reset restores the clean measurement exactly.
+    system.reset()
+    assert system.recnum() == clean
+
+
+@pytest.mark.parametrize("method", sorted(BASELINE_CLASSES))
+def test_every_baseline_runs_on_neural_ranker(steam_ci, method):
+    system = RecommenderSystem(steam_ci, "pmf", seed=0, num_attackers=10)
+    env = BlackBoxEnvironment(system)
+    kwargs = {}
+    if method == "conslop":
+        kwargs["system_log"] = system.clean_log
+    if method == "appgrad":
+        kwargs["iterations"] = 2
+    attack = BASELINE_CLASSES[method](
+        env, AttackBudget(10, 10), seed=0, **kwargs)
+    outcome = attack.run()
+    assert outcome.recnum >= 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("space", ["plain", "bplain", "bcbt-popular",
+                                   "bcbt-random"])
+def test_poisonrec_trains_on_every_action_space(steam_ci, space):
+    system = RecommenderSystem(steam_ci, "itempop", seed=0,
+                               num_attackers=10)
+    env = BlackBoxEnvironment(system)
+    cfg = PoisonRecConfig.ci(num_attackers=10, trajectory_length=10,
+                             samples_per_step=4, batch_size=4,
+                             embedding_dim=8, seed=0)
+    agent = PoisonRec(env, cfg, action_space=space)
+    result = agent.train(steps=3)
+    assert len(result.history) == 3
+    assert all(np.isfinite(s.mean_reward) for s in result.history)
+
+
+@pytest.mark.slow
+def test_biased_spaces_outperform_plain_early(steam_ci):
+    """The priori-knowledge advantage (Figure 4's opening steps)."""
+    system = RecommenderSystem(steam_ci, "itempop", seed=0,
+                               num_attackers=20)
+    env = BlackBoxEnvironment(system)
+
+    def early_reward(space):
+        cfg = PoisonRecConfig.ci(num_attackers=20, trajectory_length=20,
+                                 samples_per_step=6, batch_size=6,
+                                 embedding_dim=8, seed=0)
+        agent = PoisonRec(env, cfg, action_space=space)
+        return agent.train(steps=2).mean_rewards[0]
+
+    assert early_reward("bcbt-popular") > early_reward("plain")
+
+
+@pytest.mark.parametrize("dataset_name", ["movielens", "phone", "clothing"])
+def test_other_datasets_support_attack_cycle(dataset_name):
+    """The three non-Steam generators drive the pipeline end to end."""
+    dataset = load_dataset(dataset_name, scale="ci", seed=0)
+    system = RecommenderSystem(dataset, "itempop", seed=0, num_attackers=10)
+    env = BlackBoxEnvironment(system)
+    target = int(env.target_items[0])
+    recnum = env.attack([[target] * 20 for _ in range(10)])
+    assert recnum >= 0
+    system.reset()
+    assert system.recnum() == env.clean_recnum()
+
+
+def test_rankers_are_isolated_between_systems(steam_ci):
+    """Two systems over the same dataset do not share ranker state."""
+    a = RecommenderSystem(steam_ci, "itempop", seed=0, num_attackers=6)
+    b = RecommenderSystem(steam_ci, "itempop", seed=0, num_attackers=6)
+    target = int(a.target_items[0])
+    a.inject([[target] * 20 for _ in range(6)])
+    assert b.recnum() == b.recnum()
+    b.reset()
+    a.reset()
+    assert a.recnum() == b.recnum()
+
+
+def test_recnum_counts_match_recommend_output(steam_ci):
+    system = RecommenderSystem(steam_ci, "itempop", seed=0,
+                               num_attackers=6)
+    system.reset()
+    recommended = system.recommend()
+    manual = int((recommended >= system.num_original_items).sum())
+    assert system.recnum() == manual
