@@ -56,7 +56,7 @@ def load_policy(agent: PoisonRec, path: PathLike) -> dict:
                 raise ValueError(
                     f"parameter {i} shape mismatch: saved {stored.shape}, "
                     f"agent has {param.data.shape}")
-            param.data = stored.copy()
+            param.assign_(stored)
     return metadata
 
 

@@ -1,0 +1,35 @@
+"""Repo-native developer tooling: static analysis and numerical checking.
+
+Two pillars keep the reproduction trustworthy as it scales:
+
+* :mod:`repro.devtools.lint` — **graphlint**, a dependency-free AST linter
+  enforcing the repo's correctness invariants (seeded randomness, no blind
+  exception handlers, sanctioned tensor mutation, dtype discipline,
+  backward-closure hygiene, docstring coverage) as named ``REPxxx`` rules.
+  Run it with ``python -m repro.devtools.lint src/ tests/ benchmarks/``.
+* :mod:`repro.devtools.gradcheck` — the shared finite-difference gradient
+  checker used by the ``repro.nn`` test-suite and by recommender-loss
+  end-to-end checks.
+
+The autograd *runtime* sanitizer lives next to the engine it instruments:
+:mod:`repro.nn.anomaly`.
+"""
+
+__all__ = ["Diagnostic", "RULES", "lint_paths", "lint_source",
+           "gradcheck", "gradcheck_param", "numeric_gradient"]
+
+
+def __getattr__(name):
+    """Lazily resolve the public surface from the two submodules.
+
+    Keeps ``python -m repro.devtools.lint`` free of double-import
+    warnings and keeps the (stdlib-only) linter importable without the
+    numeric stack the gradcheck helpers need.
+    """
+    if name in ("Diagnostic", "RULES", "lint_paths", "lint_source"):
+        from . import lint
+        return getattr(lint, name)
+    if name in ("gradcheck", "gradcheck_param", "numeric_gradient"):
+        from . import gradcheck as _gradcheck
+        return getattr(_gradcheck, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

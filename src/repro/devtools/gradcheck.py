@@ -1,0 +1,122 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+One shared implementation of the central-difference checks that were
+previously duplicated across the ``repro.nn`` test files:
+
+* :func:`gradcheck` — check the analytic gradient of a function of one
+  *input* tensor (``tests/nn/test_functional.py``'s old helper);
+* :func:`gradcheck_param` — check the analytic gradient of a loss with
+  respect to a *parameter* tensor by perturbing it in place
+  (``tests/nn/test_lstm.py``'s old through-time probe), which also covers
+  layer compositions and end-to-end recommender losses.
+
+Both raise :class:`GradcheckError` with the first offending index, so a
+failing check names the exact coordinate whose analytic and numeric
+derivatives disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+
+class GradcheckError(AssertionError):
+    """Analytic and numeric gradients disagree beyond tolerance."""
+
+
+def _scalar(out: Tensor) -> Tensor:
+    return out if out.size == 1 else out.sum()
+
+
+def numeric_gradient(fn: Callable[[np.ndarray], float], x0: np.ndarray,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` at ``x0``."""
+    grad = np.zeros_like(x0, dtype=float)
+    for idx in np.ndindex(*x0.shape):
+        xp = x0.copy()
+        xp[idx] += eps
+        xm = x0.copy()
+        xm[idx] -= eps
+        grad[idx] = (fn(xp) - fn(xm)) / (2.0 * eps)
+    return grad
+
+
+def _compare(analytic: np.ndarray, numeric: np.ndarray, atol: float,
+             rtol: float, context: str) -> None:
+    denom = np.maximum(np.abs(numeric), 1.0)
+    err = np.abs(analytic - numeric)
+    bad = err > (atol + rtol * denom)
+    if np.any(bad):
+        idx = tuple(int(i) for i in np.argwhere(bad)[0])
+        raise GradcheckError(
+            f"gradcheck failed for {context} at index {idx}: "
+            f"analytic={analytic[idx]:.8g}, numeric={numeric[idx]:.8g}, "
+            f"|diff|={err[idx]:.3g}")
+
+
+def gradcheck(fn: Callable[[Tensor], Tensor], x0: np.ndarray,
+              eps: float = 1e-6, atol: float = 1e-5,
+              rtol: float = 1e-4) -> None:
+    """Check ``fn``'s analytic input-gradient against central differences.
+
+    ``fn`` maps a :class:`Tensor` to a tensor; non-scalar outputs are
+    summed before differentiation (matching the numeric probe).
+    """
+    x0 = np.asarray(x0, dtype=float)
+    x = Tensor(x0.copy(), requires_grad=True)
+    _scalar(fn(x)).backward()
+    if x.grad is None:
+        raise GradcheckError("gradcheck: no gradient reached the input — "
+                             "fn does not depend on it differentiably")
+    numeric = numeric_gradient(
+        lambda arr: float(_scalar(fn(Tensor(arr))).data.sum()), x0, eps)
+    _compare(x.grad, numeric, atol, rtol, context=f"input (shape {x0.shape})")
+
+
+def gradcheck_param(loss_fn: Callable[[], Tensor], param: Tensor,
+                    probes: Optional[Sequence[Tuple[int, ...]]] = None,
+                    eps: float = 1e-6, atol: float = 1e-5,
+                    rtol: float = 1e-4) -> None:
+    """Check a loss's analytic gradient w.r.t. ``param`` by perturbation.
+
+    ``loss_fn`` rebuilds the forward pass (a fresh graph) on every call;
+    ``param`` is perturbed in place and always restored.  ``probes``
+    restricts the numeric check to a subset of indices — recurrent
+    through-time checks probe a handful of coordinates instead of the
+    full weight matrix.
+    """
+    param.zero_grad()
+    _scalar(loss_fn()).backward()
+    if param.grad is None:
+        raise GradcheckError(
+            "gradcheck_param: no gradient reached the parameter — is it "
+            "requires_grad and used by loss_fn?")
+    analytic = param.grad.copy()
+    base = param.data.copy()
+    indices: Iterable[Tuple[int, ...]] = (
+        probes if probes is not None else np.ndindex(*base.shape))
+    try:
+        for idx in indices:
+            probe = base.copy()
+            probe[idx] += eps
+            param.data = probe
+            up = float(_scalar(loss_fn()).data.sum())
+            probe = base.copy()
+            probe[idx] -= eps
+            param.data = probe
+            down = float(_scalar(loss_fn()).data.sum())
+            numeric = (up - down) / (2.0 * eps)
+            err = abs(float(analytic[idx]) - numeric)
+            if err > atol + rtol * max(abs(numeric), 1.0):
+                raise GradcheckError(
+                    f"gradcheck failed for parameter "
+                    f"'{param.name or 'param'}' at index {tuple(idx)}: "
+                    f"analytic={float(analytic[idx]):.8g}, "
+                    f"numeric={numeric:.8g}, |diff|={err:.3g}")
+    finally:
+        param.data = base
+        param.zero_grad()

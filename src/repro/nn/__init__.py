@@ -1,6 +1,7 @@
 """Pure-numpy neural substrate: autograd tensors, layers, RNN cells, optimizers."""
 
 from . import functional
+from .anomaly import AnomalyError, GraphError, detect_anomaly, validate_graph
 from .init import normal, xavier_uniform, zeros
 from .layers import MLP, Dense, Embedding, Module
 from .lstm import GRU, GRUCell, LSTM, LSTMCell
@@ -13,4 +14,5 @@ __all__ = [
     "LSTM", "LSTMCell", "GRU", "GRUCell",
     "Optimizer", "SGD", "Adam",
     "xavier_uniform", "normal", "zeros",
+    "AnomalyError", "GraphError", "detect_anomaly", "validate_graph",
 ]

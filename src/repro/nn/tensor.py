@@ -130,6 +130,28 @@ class Tensor:
         """Reset the accumulated gradient."""
         self.grad = None
 
+    def assign_(self, data: ArrayLike, copy: bool = True) -> "Tensor":
+        """Replace the underlying array in place (sanctioned mutation).
+
+        graphlint's REP003 forbids ad-hoc ``t.data = ...`` writes; state
+        loading (snapshot restore, policy deserialization, gradcheck
+        perturbations) funnels through here so shape drift is caught at
+        the boundary instead of corrupting a later matmul.
+        """
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(_FLOAT)
+        elif copy:
+            arr = arr.copy()
+        if arr.shape != self.data.shape:
+            raise ValueError(
+                f"assign_ shape mismatch: tensor has shape "
+                f"{self.data.shape}, got {arr.shape}")
+        self.data = arr
+        return self
+
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
         if grad is None:

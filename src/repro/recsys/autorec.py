@@ -129,6 +129,6 @@ class AutoRec(Ranker):
 
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state["params"]):
-            param.data = data
+            param.assign_(data, copy=False)
         self._user_items = state["profiles"]
         self.optimizer = Adam(list(self.net.parameters()), lr=self.lr)

@@ -163,6 +163,6 @@ class GRU4Rec(Ranker):
 
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state["params"]):
-            param.data = data
+            param.assign_(data, copy=False)
         self._histories = state["histories"]
         self.optimizer = Adam(list(self.net.parameters()), lr=self.lr)

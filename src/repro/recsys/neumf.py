@@ -139,7 +139,7 @@ class NeuMF(Ranker):
 
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state):
-            param.data = data
+            param.assign_(data, copy=False)
         # Fresh optimizer moments so every restore+update run is independent
         # of earlier poisoning runs.
         self.optimizer = Adam(list(self.net.parameters()), lr=self.lr)

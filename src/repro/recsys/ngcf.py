@@ -174,7 +174,7 @@ class NGCF(Ranker):
 
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state["params"]):
-            param.data = data
+            param.assign_(data, copy=False)
         self._adjacency = state["adjacency"]
         self._final = state["final"]
         self.optimizer = Adam(list(self.net.parameters()), lr=self.lr)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import PolicyNetwork, PPOTrainer, make_action_space
 from repro.core.ppo import Experience, normalize_rewards
+from repro.nn import detect_anomaly
 
 
 def make_setup(seed=0, num_attackers=4):
@@ -81,4 +82,14 @@ class TestUpdate:
         policy, trainer = make_setup()
         experiences = collect(policy, [1.0, 4.0, 9.0], rng)
         losses = trainer.update(experiences, epochs=3)
+        assert all(np.isfinite(loss) for loss in losses)
+
+    def test_update_is_clean_under_anomaly_mode(self, rng):
+        """One full PPO iteration (sample + update) with the autograd
+        sanitizer armed: no NaN/Inf or shape bug anywhere in the clipped
+        surrogate's forward or backward graph."""
+        policy, trainer = make_setup()
+        with detect_anomaly():
+            experiences = collect(policy, [0.0, 1.0, 5.0, 10.0], rng)
+            losses = trainer.update(experiences, epochs=2)
         assert all(np.isfinite(loss) for loss in losses)

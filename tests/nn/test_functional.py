@@ -6,23 +6,9 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.devtools.gradcheck import gradcheck
 from repro.nn import Tensor
 from repro.nn import functional as F
-
-
-def gradcheck(fn, x0, eps=1e-6, tol=1e-5):
-    x = Tensor(x0.copy(), requires_grad=True)
-    fn(x).backward()
-    ana = x.grad
-    num = np.zeros_like(x0)
-    for idx in np.ndindex(*x0.shape):
-        xp = x0.copy()
-        xp[idx] += eps
-        xm = x0.copy()
-        xm[idx] -= eps
-        num[idx] = (float(fn(Tensor(xp)).data.sum())
-                    - float(fn(Tensor(xm)).data.sum())) / (2 * eps)
-    np.testing.assert_allclose(ana, num, atol=tol, rtol=1e-4)
 
 
 RNG = np.random.default_rng(42)

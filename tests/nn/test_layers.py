@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.devtools.gradcheck import gradcheck, gradcheck_param
 from repro.nn import MLP, Dense, Embedding, Module, Tensor
 
 
@@ -82,6 +83,36 @@ class TestEmbedding:
         np.testing.assert_allclose(grad[1], [2.0, 2.0])
         np.testing.assert_allclose(grad[2], [1.0, 1.0])
         np.testing.assert_allclose(grad[0], [0.0, 0.0])
+
+
+class TestLayerGradients:
+    """Numeric gradient checks through layer compositions."""
+
+    def test_mlp_input_gradient(self, rng):
+        mlp = MLP([3, 5, 2], rng)
+        x0 = rng.normal(size=(4, 3))
+        gradcheck(lambda x: (mlp(x) ** 2.0).sum(), x0)
+
+    def test_dense_weight_gradient_through_stack(self, rng):
+        first = Dense(3, 4, rng, activation="tanh")
+        second = Dense(4, 2, rng, activation="sigmoid")
+        x = rng.normal(size=(5, 3))
+
+        def loss():
+            return (second(first(Tensor(x))) ** 2.0).sum()
+
+        gradcheck_param(loss, first.weight)
+        gradcheck_param(loss, second.bias)
+
+    def test_embedding_weight_gradient_through_dense(self, rng):
+        emb = Embedding(6, 3, rng, std=0.5)
+        head = Dense(3, 1, rng, activation="tanh")
+        ids = np.array([0, 2, 2, 5])
+
+        def loss():
+            return (head(emb(ids)) ** 2.0).sum()
+
+        gradcheck_param(loss, emb.weight)
 
 
 class TestMLP:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.devtools.gradcheck import gradcheck_param
 from repro.nn import GRU, GRUCell, LSTM, LSTMCell, Tensor
 
 
@@ -25,31 +26,26 @@ class TestLSTMCell:
         cell = LSTMCell(3, 3, rng)
         x0 = rng.normal(size=(2, 3))
 
-        def run(weight_data):
-            original = cell.weight.data
-            cell.weight.data = weight_data
+        def unrolled_loss():
             h, c = cell.initial_state(2)
             for _ in range(3):
                 h, c = cell(Tensor(x0), (h, c))
-            value = float((h.numpy() ** 2).sum())
-            cell.weight.data = original
-            return value
+            return (h * h).sum()
 
-        h, c = cell.initial_state(2)
-        for _ in range(3):
-            h, c = cell(Tensor(x0), (h, c))
-        (h * h).sum().backward()
-        analytic = cell.weight.grad
+        gradcheck_param(unrolled_loss, cell.weight,
+                        probes=[(0, 0), (2, 5), (5, 11), (4, 3)])
 
-        eps = 1e-6
-        w0 = cell.weight.data.copy()
-        for probe in [(0, 0), (2, 5), (5, 11), (4, 3)]:
-            wp = w0.copy()
-            wp[probe] += eps
-            wm = w0.copy()
-            wm[probe] -= eps
-            numeric = (run(wp) - run(wm)) / (2 * eps)
-            assert abs(analytic[probe] - numeric) < 1e-5
+    def test_gradcheck_bias_through_time(self, rng):
+        cell = LSTMCell(2, 2, rng)
+        x0 = rng.normal(size=(1, 2))
+
+        def unrolled_loss():
+            h, c = cell.initial_state(1)
+            for _ in range(2):
+                h, c = cell(Tensor(x0), (h, c))
+            return (h * h).sum()
+
+        gradcheck_param(unrolled_loss, cell.bias)
 
 
 class TestLSTMSequence:

@@ -79,7 +79,7 @@ class TestGradClipping:
     def test_norm_reported_and_scaled(self):
         p = Tensor(np.zeros(4), requires_grad=True)
         opt = SGD([p], lr=1.0)
-        p.grad = np.full(4, 3.0)  # norm = 6
+        p._accumulate(np.full(4, 3.0))  # norm = 6
         norm = opt.clip_grad_norm(3.0)
         np.testing.assert_allclose(norm, 6.0)
         np.testing.assert_allclose(np.linalg.norm(p.grad), 3.0)
@@ -87,7 +87,7 @@ class TestGradClipping:
     def test_below_threshold_untouched(self):
         p = Tensor(np.zeros(4), requires_grad=True)
         opt = SGD([p], lr=1.0)
-        p.grad = np.full(4, 0.1)
+        p._accumulate(np.full(4, 0.1))
         before = p.grad.copy()
         opt.clip_grad_norm(10.0)
         np.testing.assert_allclose(p.grad, before)
