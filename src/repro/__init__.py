@@ -17,6 +17,8 @@ from .core import (PoisonRec, PoisonRecConfig, TrainResult, build_bcbt,
 from .data import Dataset, InteractionLog, load_dataset
 from .recsys import (RANKER_NAMES, BlackBoxEnvironment, RecommenderSystem,
                      make_ranker)
+from .runtime import (FaultPlan, FaultyEnvironment, ResilienceConfig,
+                      load_campaign, save_campaign)
 
 __version__ = "1.0.0"
 
@@ -25,5 +27,7 @@ __all__ = [
     "make_action_space",
     "Dataset", "InteractionLog", "load_dataset",
     "RANKER_NAMES", "BlackBoxEnvironment", "RecommenderSystem", "make_ranker",
+    "FaultPlan", "FaultyEnvironment", "ResilienceConfig",
+    "load_campaign", "save_campaign",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro evaluate --dataset steam --ranker bpr
     python -m repro attack --dataset steam --ranker itempop \
         --method poisonrec --steps 10
+    python -m repro attack --method poisonrec --chaos 0.1 \
+        --checkpoint campaign.npz --resume
     python -m repro compare --dataset steam --ranker covisitation
 """
 
@@ -21,6 +23,8 @@ from .data import DATASET_NAMES, load_dataset
 from .experiments import SCALES, build_environment, format_table, run_baseline
 from .recsys import RANKER_NAMES
 from .recsys.evaluation import evaluate_ranking, random_baseline_quality
+from .runtime import (FaultPlan, FaultyEnvironment, ResilienceConfig,
+                      RetryPolicy, as_npz_path)
 
 METHOD_CHOICES = tuple(BASELINE_CLASSES) + ("poisonrec",)
 ACTION_SPACE_CHOICES = ("plain", "bplain", "bcbt-popular", "bcbt-random")
@@ -58,6 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="PoisonRec training steps (default: per scale)")
     attack.add_argument("--action-space", choices=ACTION_SPACE_CHOICES,
                         default="bcbt-popular")
+    attack.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                        help="inject RATE transient faults per query "
+                             "(FaultyEnvironment chaos mode; poisonrec only)")
+    attack.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="crash-safe campaign checkpoint path "
+                             "(poisonrec only)")
+    attack.add_argument("--checkpoint-every", type=int, default=10,
+                        metavar="K", help="checkpoint cadence in steps "
+                                          "(default: 10)")
+    attack.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint if it exists")
+    attack.add_argument("--max-retries", type=int, default=3,
+                        help="retries per failed environment query "
+                             "(default: 3)")
 
     compare = subparsers.add_parser(
         "compare", help="run every attack method against one testbed")
@@ -92,6 +110,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 def cmd_attack(args: argparse.Namespace) -> int:
     """``attack``: run one attack method on one testbed."""
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
     scale = SCALES[args.scale]
     _, system, env = build_environment(args.dataset, args.ranker, scale,
                                        seed=args.seed)
@@ -99,13 +120,46 @@ def cmd_attack(args: argparse.Namespace) -> int:
     print(f"testbed: {args.dataset} / {args.ranker} ({args.scale}), "
           f"clean RecNum = {clean}")
     if args.method == "poisonrec":
-        agent = PoisonRec(env, scale.config(seed=args.seed),
+        attack_env = env
+        chaos = None
+        if args.chaos > 0.0:
+            chaos = FaultyEnvironment(
+                env, FaultPlan.mixed(args.chaos, seed=args.seed))
+            attack_env = chaos
+            print(f"chaos mode: {args.chaos:.0%} injected fault rate "
+                  f"(seed {args.seed})")
+        agent = PoisonRec(attack_env, scale.config(seed=args.seed),
                           action_space=args.action_space)
+        resilience = None
+        if args.chaos > 0.0 or args.checkpoint:
+            resilience = ResilienceConfig(
+                retry=RetryPolicy(max_attempts=args.max_retries + 1),
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                jitter_seed=args.seed)
+        resume_from = None
+        if args.resume and as_npz_path(args.checkpoint).exists():
+            resume_from = args.checkpoint
+            print(f"resuming campaign from {as_npz_path(args.checkpoint)}")
         steps = args.steps if args.steps is not None else scale.rl_steps
         agent.train(steps, callback=lambda s: print(
             f"  step {s.step:3d}: mean={s.mean_reward:8.1f} "
-            f"max={s.max_reward:6.0f}"))
+            f"max={s.max_reward:6.0f}" + (
+                f" retries={s.retries} quarantined={s.quarantined}"
+                if resilience is not None else "")),
+            resilience=resilience, resume_from=resume_from)
         print(f"poisonrec best RecNum: {agent.result.best_reward:.0f}")
+        if resilience is not None:
+            history = agent.result.history
+            print(f"resilience: retries="
+                  f"{sum(s.retries for s in history)} quarantined="
+                  f"{sum(s.quarantined for s in history)} rollbacks="
+                  f"{history[-1].rollbacks if history else 0}")
+        if chaos is not None:
+            print(f"chaos: injected={chaos.injected} "
+                  f"(served queries: {chaos.query_count})")
+        if args.checkpoint:
+            print(f"campaign checkpoint: {as_npz_path(args.checkpoint)}")
     else:
         recnum = run_baseline(args.method, env, system, scale,
                               seed=args.seed)

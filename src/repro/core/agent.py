@@ -5,16 +5,33 @@ space and the PPO trainer.  Each training step samples ``M`` examples
 (each example = N complete trajectories injected into the system for one
 RecNum observation), then runs ``K`` PPO epochs over mini-batches of
 ``B`` examples with normalized rewards.
+
+Long campaigns are resilient: :meth:`PoisonRec.train` accepts a
+:class:`~repro.runtime.resilience.ResilienceConfig` that wraps every
+environment query in retry/backoff, quarantines samples whose retries
+are exhausted (the PPO batch proceeds with the survivors), persists
+crash-safe checkpoints every K steps, and rolls back to the last good
+checkpoint with a lowered learning rate when the divergence watchdog
+fires.  ``train(resume_from=...)`` continues an interrupted campaign
+bit-identically — same seed, same trajectory as an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.anomaly import AnomalyError, detect_anomaly
 from ..recsys.system import BlackBoxEnvironment
+from ..runtime.checkpoint import PathLike, load_campaign, save_campaign
+from ..runtime.errors import (CampaignDivergenceError, CorruptRewardError,
+                              RetriesExhaustedError)
+from ..runtime.resilience import CampaignState, ResilienceConfig
+from ..runtime.retry import call_with_retry
+from ..runtime.watchdog import RunningMoments
 from .action_space import ActionSpace, make_action_space
 from .config import PoisonRecConfig
 from .policy import PolicyNetwork, Rollout
@@ -29,6 +46,12 @@ class StepStats:
     mean_reward: float
     max_reward: float
     losses: List[float]
+    #: Transient environment failures retried away during this step.
+    retries: int = 0
+    #: Samples dropped after exhausting their retry attempts.
+    quarantined: int = 0
+    #: Cumulative divergence rollbacks in the campaign so far.
+    rollbacks: int = 0
 
 
 @dataclass
@@ -54,7 +77,9 @@ class PoisonRec:
     Parameters
     ----------
     env:
-        The black-box recommender environment to attack.
+        The black-box recommender environment to attack (or any wrapper
+        with the same surface, e.g.
+        :class:`~repro.runtime.faults.FaultyEnvironment`).
     config:
         Algorithm and network hyper-parameters.
     action_space:
@@ -84,9 +109,15 @@ class PoisonRec:
                                   seed=self.config.seed + 1)
         self.rng = np.random.default_rng(self.config.seed + 2)
         self.result = TrainResult()
+        self.reward_moments = RunningMoments()
         self._step = 0
 
     # ------------------------------------------------------------------
+    @property
+    def step(self) -> int:
+        """Completed training steps (continues across checkpoint resumes)."""
+        return self._step
+
     def sample_attack(self) -> Rollout:
         """Sample one set of N trajectories from the current policy."""
         return self.policy.sample_rollout(self.config.trajectory_length,
@@ -101,36 +132,203 @@ class PoisonRec:
         return self.policy.sample_rollout(self.config.trajectory_length,
                                           rng=None)
 
+    # ------------------------------------------------------------------
+    # Campaign state (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to resume this campaign bit-identically.
+
+        Policy parameters, Adam state, both RNG streams (trajectory
+        sampling and PPO mini-batching), the step counter, the full
+        ``StepStats`` history with best-attack bookkeeping, and the
+        running reward moments.  Serialized/deserialized by
+        :func:`repro.runtime.checkpoint.save_campaign` /
+        :func:`~repro.runtime.checkpoint.load_campaign`.
+        """
+        return {
+            "params": [p.data.copy() for p in self.policy.parameters()],
+            "optimizer": self.trainer.optimizer.state_dict(),
+            "agent_rng": self.rng.bit_generator.state,
+            "trainer_rng": self.trainer.rng.bit_generator.state,
+            "step": self._step,
+            "best_reward": self.result.best_reward,
+            "best_trajectories": self.result.best_trajectories,
+            "history": [dataclasses.asdict(s) for s in self.result.history],
+            "reward_moments": self.reward_moments.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` in place."""
+        params = list(self.policy.parameters())
+        saved = state["params"]
+        if len(saved) != len(params):
+            raise ValueError(
+                f"snapshot holds {len(saved)} parameter arrays, the policy "
+                f"has {len(params)}")
+        for param, array in zip(params, saved):
+            param.assign_(array)
+        self.trainer.optimizer.load_state_dict(state["optimizer"])
+        self.rng.bit_generator.state = state["agent_rng"]
+        self.trainer.rng.bit_generator.state = state["trainer_rng"]
+        self._step = int(state["step"])
+        self.result.best_reward = float(state["best_reward"])
+        best = state["best_trajectories"]
+        self.result.best_trajectories = (
+            None if best is None
+            else [[int(item) for item in trajectory] for trajectory in best])
+        self.result.history = [StepStats(**entry)
+                               for entry in state["history"]]
+        self.reward_moments.load_state_dict(state["reward_moments"])
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _query(self, trajectories: List[List[int]],
+               state: Optional[CampaignState]) -> Tuple[float, int]:
+        """One black-box reward query; returns ``(reward, retries)``.
+
+        With resilience enabled the query runs under the retry policy
+        and non-finite RecNum readings are rejected as
+        :class:`CorruptRewardError` (and therefore retried).
+        """
+        if state is None:
+            return float(self.env.attack(trajectories)), 0
+
+        def attempt() -> float:
+            reward = float(self.env.attack(trajectories))
+            if not np.isfinite(reward):
+                raise CorruptRewardError(
+                    f"environment returned non-finite RecNum {reward!r}")
+            return reward
+
+        outcome = call_with_retry(attempt, state.config.retry, rng=state.rng,
+                                  sleep=state.config.sleep)
+        return outcome.value, outcome.retries
+
     def train_step(self) -> StepStats:
         """One iteration of Algorithm 1's outer loop."""
+        return self._train_step(None)
+
+    def _train_step(self, state: Optional[CampaignState]) -> StepStats:
         cfg = self.config
         experiences: List[Experience] = []
+        retries = 0
+        quarantined = 0
         for _ in range(cfg.samples_per_step):
             rollout = self.sample_attack()
-            reward = float(self.env.attack(rollout.trajectories()))
+            try:
+                reward, attempts = self._query(rollout.trajectories(), state)
+            except RetriesExhaustedError as error:
+                # Degrade gracefully: drop this sample, keep the batch.
+                quarantined += 1
+                retries += max(error.attempts - 1, 0)
+                state.budget.spend(reason=str(error))
+                continue
+            retries += attempts
             experiences.append(Experience(rollout=rollout, reward=reward))
+            self.reward_moments.update(reward)
             if reward > self.result.best_reward:
                 self.result.best_reward = reward
                 self.result.best_trajectories = rollout.trajectories()
-        losses = self.trainer.update(experiences, epochs=cfg.ppo_epochs,
-                                     batch_size=cfg.batch_size)
+        losses = (self.trainer.update(experiences, epochs=cfg.ppo_epochs,
+                                      batch_size=cfg.batch_size)
+                  if experiences else [])
         rewards = [e.reward for e in experiences]
-        stats = StepStats(step=self._step,
-                          mean_reward=float(np.mean(rewards)),
-                          max_reward=float(np.max(rewards)), losses=losses)
+        stats = StepStats(
+            step=self._step,
+            mean_reward=float(np.mean(rewards)) if rewards else float("nan"),
+            max_reward=float(np.max(rewards)) if rewards else float("nan"),
+            losses=losses, retries=retries, quarantined=quarantined,
+            rollbacks=state.rollbacks if state is not None else 0)
+        if state is not None:
+            state.total_retries += retries
+            state.total_quarantined += quarantined
         self.result.history.append(stats)
         self._step += 1
         return stats
 
     def train(self, steps: int,
-              callback: Optional[Callable[[StepStats], None]] = None
-              ) -> TrainResult:
-        """Run ``steps`` training iterations; returns the accumulated result."""
-        for _ in range(steps):
-            stats = self.train_step()
+              callback: Optional[Callable[[StepStats], None]] = None,
+              *, resilience: Optional[ResilienceConfig] = None,
+              resume_from: Optional[PathLike] = None) -> TrainResult:
+        """Run ``steps`` training iterations; returns the accumulated result.
+
+        Parameters
+        ----------
+        steps:
+            Iterations to run *in this call* (on top of any restored
+            progress when resuming).
+        callback:
+            Invoked with each completed step's :class:`StepStats`.
+        resilience:
+            Enables the fault-tolerant campaign loop: retry/backoff with
+            sample quarantine, periodic crash-safe checkpoints, and
+            divergence rollback.  Without it the loop behaves exactly as
+            the plain reproduction (and produces identical numbers).
+        resume_from:
+            Path of a :func:`~repro.runtime.checkpoint.save_campaign`
+            archive to restore before training.  A resumed campaign
+            continues the interrupted one bit-identically.
+        """
+        if resume_from is not None:
+            load_campaign(self, resume_from)
+        state = CampaignState(resilience) if resilience is not None else None
+        target = self._step + steps
+        while self._step < target:
+            try:
+                if state is not None and state.config.anomaly_mode:
+                    with detect_anomaly():
+                        stats = self._train_step(state)
+                else:
+                    stats = self._train_step(state)
+            except AnomalyError as error:
+                if state is None:
+                    raise
+                self._handle_divergence(state, f"autograd anomaly: {error}")
+                continue
+            reason = (state.watchdog.observe(stats)
+                      if state is not None and state.watchdog is not None
+                      else None)
+            if reason is not None:
+                self._handle_divergence(state, reason)
+                continue
+            if state is not None and state.checkpoint_due(self._step):
+                save_campaign(self, state.checkpoint_path)
+                state.mark_checkpointed()
             if callback is not None:
                 callback(stats)
+        if state is not None and state.checkpoint_path is not None:
+            save_campaign(self, state.checkpoint_path)
+            state.mark_checkpointed()
         return self.result
+
+    def _handle_divergence(self, state: CampaignState, reason: str) -> None:
+        """Roll back to the last good checkpoint with a lowered lr.
+
+        Without a checkpoint on disk the rollback degrades to a pure
+        learning-rate backoff; either way the watchdog is reset and the
+        rollback allowance is spent.  Exceeding ``max_rollbacks`` raises
+        :class:`CampaignDivergenceError`.
+        """
+        state.rollbacks += 1
+        state.decays_since_checkpoint += 1
+        if state.rollbacks > state.config.max_rollbacks:
+            raise CampaignDivergenceError(
+                f"{reason} — campaign rolled back "
+                f"{state.rollbacks - 1} time(s) and the allowance of "
+                f"{state.config.max_rollbacks} is spent")
+        optimizer = self.trainer.optimizer
+        if state.can_rollback():
+            load_campaign(self, state.checkpoint_path)
+            # The checkpoint restored its own (pre-divergence) lr; apply
+            # every decay accumulated since that checkpoint was written.
+            decay = state.config.lr_backoff ** state.decays_since_checkpoint
+            optimizer.lr = max(state.config.min_lr, optimizer.lr * decay)
+        else:
+            optimizer.lr = max(state.config.min_lr,
+                               optimizer.lr * state.config.lr_backoff)
+        if state.watchdog is not None:
+            state.watchdog.reset()
 
     # ------------------------------------------------------------------
     def evaluate(self, num_samples: int = 4) -> float:

@@ -3,28 +3,37 @@
 Stores all policy parameters plus the identifying metadata (action-space
 kind, dimensions) in a single ``.npz`` archive, so a learned attack
 strategy can be reused or inspected without retraining.
+
+Writes are atomic (temp sibling + ``os.replace`` via
+:func:`repro.runtime.checkpoint.atomic_savez`), so a crash mid-save can
+never corrupt an existing archive, and metadata is strict JSON: an
+untrained agent's ``best_reward`` of ``-inf`` is stored as ``null`` and
+restored to ``float("-inf")`` on load.  Truncated or garbled archives
+raise :class:`~repro.runtime.errors.CorruptCheckpointError` instead of a
+raw ``zipfile`` traceback.
 """
 
 from __future__ import annotations
 
 import json
-import pathlib
-from typing import Union
+import math
+import zipfile
 
 import numpy as np
 
+from ..runtime.checkpoint import PathLike, as_npz_path, atomic_savez
+from ..runtime.errors import CorruptCheckpointError
 from .agent import PoisonRec
 from .policy import PolicyNetwork
-
-PathLike = Union[str, pathlib.Path]
 
 _FORMAT_VERSION = 1
 
 
 def save_policy(agent: PoisonRec, path: PathLike) -> None:
-    """Serialize the agent's policy parameters to ``path`` (.npz)."""
+    """Atomically serialize the agent's policy parameters to ``path`` (.npz)."""
     policy = agent.policy
     arrays = {f"param_{i}": p.data for i, p in enumerate(policy.parameters())}
+    best_reward = float(agent.result.best_reward)
     metadata = {
         "version": _FORMAT_VERSION,
         "action_space": getattr(agent.action_space, "name", "plain"),
@@ -32,11 +41,13 @@ def save_policy(agent: PoisonRec, path: PathLike) -> None:
         "num_original_items": agent.action_space.num_original_items,
         "num_attackers": policy.num_attackers,
         "dim": policy.dim,
-        "best_reward": agent.result.best_reward,
+        # -inf (untrained) is not representable in standard JSON: store
+        # null, decode back to float("-inf") in load_policy.
+        "best_reward": best_reward if math.isfinite(best_reward) else None,
     }
     arrays["metadata"] = np.frombuffer(
-        json.dumps(metadata).encode(), dtype=np.uint8)
-    np.savez(path, **arrays)
+        json.dumps(metadata, allow_nan=False).encode(), dtype=np.uint8)
+    atomic_savez(path, arrays)
 
 
 def load_policy(agent: PoisonRec, path: PathLike) -> dict:
@@ -44,19 +55,40 @@ def load_policy(agent: PoisonRec, path: PathLike) -> dict:
 
     The agent must have been constructed with a matching configuration
     (same action space kind, item universe, attacker count and embedding
-    dim); mismatches raise ``ValueError``.  Returns the stored metadata.
+    dim); mismatches raise ``ValueError``.  A truncated or garbled
+    archive raises :class:`CorruptCheckpointError`; a missing file
+    raises ``FileNotFoundError`` unchanged.  Returns the stored
+    metadata (with ``best_reward`` decoded).
     """
-    with np.load(path) as archive:
-        metadata = json.loads(bytes(archive["metadata"]).decode())
-        _check_compatible(agent.policy, agent, metadata)
-        params = list(agent.policy.parameters())
-        for i, param in enumerate(params):
-            stored = archive[f"param_{i}"]
-            if stored.shape != param.data.shape:
-                raise ValueError(
-                    f"parameter {i} shape mismatch: saved {stored.shape}, "
-                    f"agent has {param.data.shape}")
-            param.assign_(stored)
+    path = as_npz_path(path)
+    params = list(agent.policy.parameters())
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode())
+            stored = {name: np.array(archive[name])
+                      for name in archive.files if name != "metadata"}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError,
+            OSError) as error:
+        raise CorruptCheckpointError(
+            f"policy archive {path} is unreadable or truncated ({error}); "
+            "it was probably written by an interrupted save") from error
+    _check_compatible(agent.policy, agent, metadata)
+    for i, param in enumerate(params):
+        name = f"param_{i}"
+        if name not in stored:
+            raise CorruptCheckpointError(
+                f"policy archive {path} is missing array {name!r}; the "
+                "archive was written incompletely")
+        if stored[name].shape != param.data.shape:
+            raise ValueError(
+                f"parameter {i} shape mismatch: saved {stored[name].shape}, "
+                f"agent has {param.data.shape}")
+    for i, param in enumerate(params):
+        param.assign_(stored[f"param_{i}"])
+    if metadata.get("best_reward") is None:
+        metadata["best_reward"] = float("-inf")
     return metadata
 
 

@@ -102,3 +102,42 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the Adam state for campaign checkpoints.
+
+        Captures the step counter, the (mutable) learning rate and both
+        moment buffers; lazily uninitialized entries stay ``None``.
+        """
+        return {
+            "t": self._t,
+            "lr": self.lr,
+            "m": [None if m is None else m.copy() for m in self._m],
+            "v": [None if v is None else v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The managed parameter list must match in length; moment shapes
+        are validated against the current parameters.
+        """
+        moments_m, moments_v = state["m"], state["v"]
+        if len(moments_m) != len(self.params) \
+                or len(moments_v) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(moments_m)} moment buffers, "
+                f"optimizer manages {len(self.params)} parameters")
+        for i, param in enumerate(self.params):
+            for name, moment in (("m", moments_m[i]), ("v", moments_v[i])):
+                if moment is not None and moment.shape != param.data.shape:
+                    raise ValueError(
+                        f"Adam {name}[{i}] shape {moment.shape} disagrees "
+                        f"with parameter shape {param.data.shape}")
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])
+        self._m = [None if m is None else np.array(m, copy=True)
+                   for m in moments_m]
+        self._v = [None if v is None else np.array(v, copy=True)
+                   for v in moments_v]

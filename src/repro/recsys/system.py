@@ -171,10 +171,23 @@ class RecommenderSystem:
         self._poisoned = False
 
     def inject(self, trajectories: Sequence[Sequence[int]]) -> None:
-        """Inject fake behaviors and update the ranker (no reset)."""
+        """Inject fake behaviors and update the ranker (no reset).
+
+        If the ranker's retraining raises, the clean snapshot is
+        restored before the exception propagates: a failed poison update
+        must never leave a half-updated ranker behind, or the next
+        measurement would read a state no attack actually produced.
+        This is the consistency invariant ``repro.runtime``'s
+        retry/backoff loop relies on when it re-issues a failed query.
+        """
         poison = self.build_poison_log(trajectories)
         merged = self.clean_log.merged_with(poison)
-        self.ranker.poison_update(merged, poison)
+        try:
+            self.ranker.poison_update(merged, poison)
+        except Exception:
+            self.ranker.restore(self._clean_state)
+            self._poisoned = False
+            raise
         self._poisoned = True
 
     def attack(self, trajectories: Sequence[Sequence[int]]) -> int:
@@ -209,6 +222,11 @@ class BlackBoxEnvironment:
 
     The ranker type, its parameters, other users' logs and per-user
     recommendation lists are all hidden.
+
+    This surface (the attributes above plus ``attack`` /
+    ``clean_recnum`` / ``query_count``) is the contract wrappers build
+    on — e.g. :class:`repro.runtime.faults.FaultyEnvironment`, which
+    decorates it with an injected fault schedule for chaos testing.
     """
 
     def __init__(self, system: RecommenderSystem) -> None:

@@ -1,0 +1,35 @@
+"""repro.runtime — resilience subsystem for long attack campaigns.
+
+Checkpoint/resume (:mod:`~repro.runtime.checkpoint`), retry with
+exponential backoff (:mod:`~repro.runtime.retry`), fault injection
+(:mod:`~repro.runtime.faults`), divergence watchdog
+(:mod:`~repro.runtime.watchdog`), the typed failure taxonomy
+(:mod:`~repro.runtime.errors`), and the :class:`ResilienceConfig` that
+wires all of it into :meth:`repro.core.agent.PoisonRec.train`.
+See ``docs/robustness.md``.
+"""
+
+from .checkpoint import (CHECKPOINT_FORMAT, CHECKPOINT_VERSION, as_npz_path,
+                         atomic_savez, load_campaign, save_campaign)
+from .errors import (CampaignDivergenceError, CampaignError,
+                     CorruptCheckpointError, CorruptRewardError,
+                     FailureBudgetExhausted, FatalEnvironmentError,
+                     QueryTimeoutError, RetriesExhaustedError,
+                     TransientEnvironmentError)
+from .faults import FaultPlan, FaultyEnvironment
+from .resilience import CampaignState, ResilienceConfig
+from .retry import FailureBudget, RetryOutcome, RetryPolicy, call_with_retry
+from .watchdog import DivergenceWatchdog, RunningMoments, WatchdogConfig
+
+__all__ = [
+    "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "as_npz_path", "atomic_savez",
+    "save_campaign", "load_campaign",
+    "CampaignError", "TransientEnvironmentError", "QueryTimeoutError",
+    "CorruptRewardError", "FatalEnvironmentError", "RetriesExhaustedError",
+    "FailureBudgetExhausted", "CampaignDivergenceError",
+    "CorruptCheckpointError",
+    "FaultPlan", "FaultyEnvironment",
+    "CampaignState", "ResilienceConfig",
+    "RetryPolicy", "RetryOutcome", "FailureBudget", "call_with_retry",
+    "RunningMoments", "WatchdogConfig", "DivergenceWatchdog",
+]

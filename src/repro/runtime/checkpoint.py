@@ -1,0 +1,215 @@
+"""Crash-safe campaign checkpoints: atomic write, bit-identical resume.
+
+A campaign checkpoint captures *everything* Algorithm 1's outer loop
+needs to continue exactly where it stopped: policy parameters, Adam
+moments and step count, both RNG streams (trajectory sampling and PPO
+mini-batch selection), the full ``StepStats`` history with best-attack
+bookkeeping, and the campaign's running reward moments.  Restoring it
+into a freshly constructed agent with the same configuration reproduces
+the uninterrupted run's trajectory bit-for-bit.
+
+Writes are atomic: the archive is serialized to a sibling temp file,
+fsynced, then moved into place with ``os.replace`` — a ``kill -9`` at
+any instant leaves either the previous checkpoint or the new one, never
+a truncated hybrid.  Reads classify any truncated/garbled archive as
+:class:`~repro.runtime.errors.CorruptCheckpointError` instead of leaking
+``zipfile`` internals.
+
+Metadata is strict JSON (``allow_nan=False``): non-finite history floats
+are encoded as the strings ``"nan"`` / ``"inf"`` / ``"-inf"`` (which
+``float()`` parses back exactly), and an untrained agent's
+``best_reward`` of ``-inf`` is stored as ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import zipfile
+from typing import TYPE_CHECKING, Dict, Union
+
+import numpy as np
+
+from .errors import CorruptCheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
+    from ..core.agent import PoisonRec
+
+PathLike = Union[str, pathlib.Path]
+
+CHECKPOINT_FORMAT = "poisonrec-campaign"
+CHECKPOINT_VERSION = 1
+
+_METADATA_KEY = "campaign_json"
+
+
+def as_npz_path(path: PathLike) -> pathlib.Path:
+    """Normalize ``path`` the way ``np.savez`` does (append ``.npz``)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def atomic_savez(path: PathLike,
+                 arrays: Dict[str, np.ndarray]) -> pathlib.Path:
+    """Write an ``.npz`` archive crash-safely; returns the final path.
+
+    The archive is built in a sibling ``.tmp`` file, flushed and fsynced,
+    then swapped into place with ``os.replace`` so readers only ever see
+    a complete archive.  Not safe for concurrent writers of the *same*
+    path (they would share the temp file).
+    """
+    path = as_npz_path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def _encode_float(value: float):
+    """Strict-JSON float: non-finite values become parseable strings."""
+    value = float(value)
+    return value if math.isfinite(value) else str(value)
+
+
+def _decode_float(value) -> float:
+    """Inverse of :func:`_encode_float` (``float`` parses both forms)."""
+    return float(value)
+
+
+def _encode_best_reward(value: float):
+    """``best_reward`` encoding: ``-inf`` (untrained) becomes ``null``."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _decode_best_reward(value) -> float:
+    """Inverse of :func:`_encode_best_reward`."""
+    return float("-inf") if value is None else float(value)
+
+
+def save_campaign(agent: "PoisonRec", path: PathLike) -> pathlib.Path:
+    """Atomically persist ``agent``'s full campaign state to ``path``.
+
+    Returns the path actually written (``.npz`` appended if missing).
+    """
+    state = agent.state_dict()
+    arrays: Dict[str, np.ndarray] = {}
+    for i, param in enumerate(state["params"]):
+        arrays[f"param_{i}"] = param
+    optimizer = state["optimizer"]
+    present = []
+    for i, (m, v) in enumerate(zip(optimizer["m"], optimizer["v"])):
+        present.append(m is not None)
+        if m is not None:
+            arrays[f"adam_m_{i}"] = m
+            arrays[f"adam_v_{i}"] = v
+    history = [dict(entry,
+                    mean_reward=_encode_float(entry["mean_reward"]),
+                    max_reward=_encode_float(entry["max_reward"]),
+                    losses=[_encode_float(loss) for loss in entry["losses"]])
+               for entry in state["history"]]
+    metadata = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "action_space": getattr(agent.action_space, "name", "plain"),
+        "num_items": agent.action_space.num_items,
+        "num_original_items": agent.action_space.num_original_items,
+        "num_attackers": agent.policy.num_attackers,
+        "dim": agent.policy.dim,
+        "step": state["step"],
+        "optimizer": {"t": optimizer["t"], "lr": optimizer["lr"],
+                      "present": present},
+        "agent_rng": state["agent_rng"],
+        "trainer_rng": state["trainer_rng"],
+        "best_reward": _encode_best_reward(state["best_reward"]),
+        "best_trajectories": state["best_trajectories"],
+        "history": history,
+        "reward_moments": state["reward_moments"],
+    }
+    arrays[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata, allow_nan=False).encode(), dtype=np.uint8)
+    return atomic_savez(path, arrays)
+
+
+def load_campaign(agent: "PoisonRec", path: PathLike) -> dict:
+    """Restore a :func:`save_campaign` archive into ``agent``.
+
+    The agent must have been constructed with a matching configuration
+    (action-space kind, item universe, attacker count, embedding dim);
+    mismatches raise ``ValueError``.  Truncated or garbled archives
+    raise :class:`CorruptCheckpointError`; a missing file raises
+    ``FileNotFoundError`` unchanged.  Returns the checkpoint metadata
+    (with ``best_reward`` decoded).
+    """
+    path = as_npz_path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            raw = {name: np.array(archive[name]) for name in archive.files}
+        metadata = json.loads(bytes(raw.pop(_METADATA_KEY)).decode())
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError,
+            OSError) as error:
+        raise CorruptCheckpointError(
+            f"campaign checkpoint {path} is unreadable or truncated "
+            f"({error}); was the process killed mid-save with a "
+            "non-atomic writer?") from error
+    if metadata.get("format") != CHECKPOINT_FORMAT:
+        raise CorruptCheckpointError(
+            f"{path} is not a campaign checkpoint "
+            f"(format={metadata.get('format')!r})")
+    if metadata.get("version") != CHECKPOINT_VERSION:
+        raise CorruptCheckpointError(
+            f"{path} has unsupported checkpoint version "
+            f"{metadata.get('version')!r} (expected {CHECKPOINT_VERSION})")
+    _check_compat(agent, metadata)
+    try:
+        num_params = len(list(agent.policy.parameters()))
+        params = [raw[f"param_{i}"] for i in range(num_params)]
+        present = metadata["optimizer"]["present"]
+        moments_m = [raw[f"adam_m_{i}"] if has else None
+                     for i, has in enumerate(present)]
+        moments_v = [raw[f"adam_v_{i}"] if has else None
+                     for i, has in enumerate(present)]
+        state = {
+            "params": params,
+            "optimizer": {"t": metadata["optimizer"]["t"],
+                          "lr": metadata["optimizer"]["lr"],
+                          "m": moments_m, "v": moments_v},
+            "agent_rng": metadata["agent_rng"],
+            "trainer_rng": metadata["trainer_rng"],
+            "step": metadata["step"],
+            "best_reward": _decode_best_reward(metadata["best_reward"]),
+            "best_trajectories": metadata["best_trajectories"],
+            "history": [dict(entry,
+                             mean_reward=_decode_float(entry["mean_reward"]),
+                             max_reward=_decode_float(entry["max_reward"]),
+                             losses=[_decode_float(loss)
+                                     for loss in entry["losses"]])
+                        for entry in metadata["history"]],
+            "reward_moments": metadata["reward_moments"],
+        }
+    except KeyError as error:
+        raise CorruptCheckpointError(
+            f"campaign checkpoint {path} is missing entry {error}; the "
+            "archive was written incompletely") from error
+    agent.load_state_dict(state)
+    metadata["best_reward"] = state["best_reward"]
+    return metadata
+
+
+def _check_compat(agent: "PoisonRec", metadata: dict) -> None:
+    # Imported lazily: repro.core pulls in this module while its own
+    # __init__ is still executing, so a top-level import would cycle.
+    from ..core.persistence import _check_compatible
+    _check_compatible(agent.policy, agent, metadata)

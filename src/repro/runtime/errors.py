@@ -1,0 +1,58 @@
+"""Typed failure taxonomy for resilient attack campaigns.
+
+Every fault the campaign loop can encounter is classified as either
+*transient* (worth retrying: a flaky black-box query, an injected
+timeout, a corrupted RecNum reading) or *fatal* (retrying cannot help:
+the retry budget is spent, the campaign failure budget is exhausted, or
+the optimization itself diverged beyond repair).  The split is what lets
+:meth:`repro.core.agent.PoisonRec.train` degrade gracefully — transient
+errors are absorbed by backoff, fatal ones quarantine a sample or stop
+the campaign with a precise diagnosis instead of a raw traceback.
+"""
+
+from __future__ import annotations
+
+
+class CampaignError(RuntimeError):
+    """Base class for every failure raised by the resilience subsystem."""
+
+
+class TransientEnvironmentError(CampaignError):
+    """A recoverable environment failure; the query should be retried."""
+
+
+class QueryTimeoutError(TransientEnvironmentError):
+    """A black-box query exceeded its deadline budget."""
+
+
+class CorruptRewardError(TransientEnvironmentError):
+    """The environment returned a NaN/Inf or otherwise unusable RecNum."""
+
+
+class FatalEnvironmentError(CampaignError):
+    """An unrecoverable failure; retrying the same query cannot help."""
+
+
+class RetriesExhaustedError(FatalEnvironmentError):
+    """Every retry attempt for one query failed.
+
+    The campaign loop catches this to quarantine the failed sample and
+    proceed with the surviving ones; ``attempts`` records how many tries
+    were made before giving up.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class FailureBudgetExhausted(FatalEnvironmentError):
+    """The campaign quarantined more samples than its failure budget allows."""
+
+
+class CampaignDivergenceError(FatalEnvironmentError):
+    """Training diverged and the rollback allowance is spent."""
+
+
+class CorruptCheckpointError(CampaignError):
+    """A checkpoint archive is truncated, unreadable, or malformed."""

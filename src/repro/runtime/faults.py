@@ -1,0 +1,155 @@
+"""Fault injection: a chaos-mode wrapper over the black-box environment.
+
+:class:`FaultyEnvironment` decorates any
+:class:`~repro.recsys.system.BlackBoxEnvironment`-shaped object with a
+seeded schedule of the transient failures real query-limited targets
+exhibit: raised transient errors, deadline-budget timeouts, NaN/garbage
+RecNum readings, and stale (cached) recommendations.  The schedule is
+driven by its own ``default_rng(seed)``, so a given seed reproduces the
+exact same fault sequence — which is what makes the chaos tests and the
+CI chaos smoke job deterministic.
+
+The wrapper exposes the same attacker-facing surface as the wrapped
+environment (item universe, targets, popularity, ``attack``,
+``clean_recnum``, ``query_count``) and can therefore be handed straight
+to :class:`~repro.core.agent.PoisonRec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+import numpy as np
+
+from .errors import QueryTimeoutError, TransientEnvironmentError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, no runtime dep
+    from ..recsys.system import BlackBoxEnvironment
+
+
+@dataclass
+class FaultPlan:
+    """Seeded fault schedule: per-query rates for each failure kind.
+
+    Rates are independent probabilities of a *disjoint* outcome per
+    query (their sum must stay <= 1); the remainder of the probability
+    mass is a healthy query.  ``deadline`` and ``latency_multiplier``
+    shape the simulated-latency message attached to injected timeouts —
+    no real sleeping happens.
+    """
+
+    transient_rate: float = 0.0
+    timeout_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stale_rate: float = 0.0
+    deadline: float = 1.0
+    latency_multiplier: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (self.transient_rate, self.timeout_rate, self.corrupt_rate,
+                 self.stale_rate)
+        if any(not 0.0 <= rate <= 1.0 for rate in rates):
+            raise ValueError("fault rates must be in [0, 1]")
+        if sum(rates) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.deadline <= 0.0:
+            raise ValueError("deadline must be positive")
+
+    @property
+    def total_rate(self) -> float:
+        """Combined probability that a query is faulted."""
+        return (self.transient_rate + self.timeout_rate + self.corrupt_rate
+                + self.stale_rate)
+
+    @classmethod
+    def mixed(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A representative blend at ``rate`` total fault probability.
+
+        Split 50% transient errors, 20% timeouts, 20% corrupt rewards,
+        10% stale reads — the CLI's ``--chaos RATE`` preset.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("chaos rate must be in [0, 1]")
+        return cls(transient_rate=0.5 * rate, timeout_rate=0.2 * rate,
+                   corrupt_rate=0.2 * rate, stale_rate=0.1 * rate, seed=seed)
+
+
+class FaultyEnvironment:
+    """A black-box environment that fails on a seeded schedule.
+
+    Wraps a real environment and, per :meth:`attack` call, either
+    forwards the query or injects one of the plan's fault kinds:
+
+    * ``transient`` — raises :class:`TransientEnvironmentError` without
+      touching the wrapped system;
+    * ``timeout`` — raises :class:`QueryTimeoutError` carrying the
+      simulated latency that blew the deadline budget;
+    * ``corrupt`` — performs the real query but reports ``NaN``
+      (a garbage RecNum reading the caller must detect);
+    * ``stale`` — silently returns the previous query's reward (a cache
+      serving outdated recommendations).
+
+    ``injected`` tallies every fault by kind for telemetry and tests.
+    """
+
+    def __init__(self, env: "BlackBoxEnvironment", plan: FaultPlan) -> None:
+        self._env = env
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._last_reward: Optional[int] = None
+        self.injected: Dict[str, int] = {
+            "transient": 0, "timeout": 0, "corrupt": 0, "stale": 0}
+        # Mirror the attacker-facing knowledge surface of the wrapped env.
+        self.num_original_items = env.num_original_items
+        self.num_items = env.num_items
+        self.target_items = env.target_items.copy()
+        self.num_attackers = env.num_attackers
+        self.item_popularity = env.item_popularity.copy()
+
+    # ------------------------------------------------------------------
+    def attack(self, trajectories: Sequence[Sequence[int]]) -> float:
+        """Forward one query, or inject the scheduled fault instead."""
+        plan = self.plan
+        draw = float(self._rng.random())
+        edge = plan.transient_rate
+        if draw < edge:
+            self.injected["transient"] += 1
+            raise TransientEnvironmentError(
+                f"injected transient environment failure "
+                f"(query {self.query_count}, fault "
+                f"#{sum(self.injected.values())})")
+        edge += plan.timeout_rate
+        if draw < edge:
+            self.injected["timeout"] += 1
+            latency = plan.deadline * (
+                1.0 + float(self._rng.random()) * plan.latency_multiplier)
+            raise QueryTimeoutError(
+                f"injected query timeout: simulated latency {latency:.2f}s "
+                f"exceeded the {plan.deadline:.2f}s deadline budget")
+        edge += plan.corrupt_rate
+        if draw < edge:
+            self.injected["corrupt"] += 1
+            self._last_reward = int(self._env.attack(trajectories))
+            return float("nan")
+        edge += plan.stale_rate
+        if draw < edge and self._last_reward is not None:
+            self.injected["stale"] += 1
+            return float(self._last_reward)
+        reward = int(self._env.attack(trajectories))
+        self._last_reward = reward
+        return float(reward)
+
+    def clean_recnum(self) -> int:
+        """Pass through to the wrapped environment (never faulted)."""
+        return self._env.clean_recnum()
+
+    @property
+    def query_count(self) -> int:
+        """Queries actually served by the wrapped system."""
+        return self._env.query_count
+
+    def __repr__(self) -> str:
+        return (f"FaultyEnvironment(total_rate={self.plan.total_rate:.3f}, "
+                f"seed={self.plan.seed}, injected={self.injected})")

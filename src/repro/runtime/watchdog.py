@@ -1,0 +1,131 @@
+"""Divergence watchdog and streaming reward statistics.
+
+A long campaign can blow up in two ways the per-step loop cannot see
+locally: a NaN/Inf loss from the PPO update (numerical divergence) or a
+sustained collapse of the reward signal (the policy unlearned everything
+it knew).  :class:`DivergenceWatchdog` inspects every
+:class:`~repro.core.agent.StepStats` and reports a human-readable reason
+the moment either pattern appears, so the campaign loop can roll back to
+its last good checkpoint with a lowered learning rate instead of
+training on garbage.
+
+:class:`RunningMoments` is the campaign-level reward-normalization
+statistic (Welford streaming mean/variance over every sampled RecNum);
+it is part of the checkpoint so a resumed campaign carries its full
+reward history, not just the policy weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+class RunningMoments:
+    """Streaming mean/variance via Welford's algorithm (checkpointable)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one reward observation into the running moments."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything observed so far."""
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of everything observed so far."""
+        return math.sqrt(self.variance)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (exact float roundtrip)."""
+        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.count = int(state["count"])
+        self.mean = float(state["mean"])
+        self.m2 = float(state["m2"])
+
+    def __repr__(self) -> str:
+        return (f"RunningMoments(count={self.count}, mean={self.mean:.4f}, "
+                f"std={self.std:.4f})")
+
+
+@dataclass
+class WatchdogConfig:
+    """Detection thresholds for :class:`DivergenceWatchdog`.
+
+    Reward collapse fires when the EMA of mean rewards stays below
+    ``collapse_fraction`` of its historical peak for ``patience``
+    consecutive steps; ``min_peak`` keeps the detector quiet until the
+    campaign has actually achieved something worth protecting.
+    """
+
+    ema_beta: float = 0.9
+    collapse_fraction: float = 0.25
+    patience: int = 5
+    min_peak: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ema_beta < 1.0:
+            raise ValueError("ema_beta must be in [0, 1)")
+        if not 0.0 < self.collapse_fraction < 1.0:
+            raise ValueError("collapse_fraction must be in (0, 1)")
+        if self.patience < 1:
+            raise ValueError("patience must be at least 1")
+        if self.min_peak < 0.0:
+            raise ValueError("min_peak must be non-negative")
+
+
+class DivergenceWatchdog:
+    """Flags NaN/Inf losses and sustained reward collapse.
+
+    Stateless with respect to the model: it only reads per-step
+    telemetry, so resetting it after a rollback is always safe.
+    """
+
+    def __init__(self, config: Optional[WatchdogConfig] = None) -> None:
+        self.config = config if config is not None else WatchdogConfig()
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the EMA and patience counters (called after rollback)."""
+        self._ema: Optional[float] = None
+        self._peak = 0.0
+        self._bad_steps = 0
+
+    def observe(self, stats) -> Optional[str]:
+        """Inspect one ``StepStats``; return a divergence reason or None."""
+        for loss in stats.losses:
+            if not math.isfinite(loss):
+                return f"non-finite PPO loss {loss!r} at step {stats.step}"
+        if (not math.isfinite(stats.mean_reward)
+                or not math.isfinite(stats.max_reward)):
+            return f"non-finite reward statistics at step {stats.step}"
+        beta = self.config.ema_beta
+        self._ema = (stats.mean_reward if self._ema is None
+                     else beta * self._ema + (1.0 - beta) * stats.mean_reward)
+        self._peak = max(self._peak, self._ema)
+        collapsed = (self._peak >= self.config.min_peak
+                     and self._ema < self.config.collapse_fraction * self._peak)
+        if collapsed:
+            self._bad_steps += 1
+            if self._bad_steps >= self.config.patience:
+                return (f"reward collapse: EMA {self._ema:.3f} below "
+                        f"{self.config.collapse_fraction:g}x peak "
+                        f"{self._peak:.3f} for {self._bad_steps} "
+                        "consecutive steps")
+        else:
+            self._bad_steps = 0
+        return None

@@ -1,9 +1,12 @@
 """Policy save/load tests."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import (PoisonRec, PoisonRecConfig, load_policy, save_policy)
+from repro.runtime import CorruptCheckpointError
 
 
 def make_agent(env, space="bcbt-popular", seed=0, dim=8):
@@ -67,3 +70,48 @@ class TestSaveLoad:
         save_policy(agent, path)
         metadata = load_policy(make_agent(itempop_env), path)
         assert metadata["best_reward"] == 42.0
+
+
+class TestRobustness:
+    def test_save_leaves_no_temp_file(self, itempop_env, tmp_path):
+        save_policy(make_agent(itempop_env), tmp_path / "policy.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["policy.npz"]
+
+    def test_truncated_archive_raises_corrupt_error(self, itempop_env,
+                                                    tmp_path):
+        path = tmp_path / "policy.npz"
+        save_policy(make_agent(itempop_env), path)
+        path.write_bytes(path.read_bytes()[:80])
+        with pytest.raises(CorruptCheckpointError, match="truncated"):
+            load_policy(make_agent(itempop_env), path)
+
+    def test_garbage_archive_raises_corrupt_error(self, itempop_env,
+                                                  tmp_path):
+        path = tmp_path / "policy.npz"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(CorruptCheckpointError):
+            load_policy(make_agent(itempop_env), path)
+
+    def test_missing_file_raises_file_not_found(self, itempop_env, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_policy(make_agent(itempop_env), tmp_path / "absent.npz")
+
+    def test_untrained_best_reward_roundtrips_via_null(self, itempop_env,
+                                                       tmp_path):
+        agent = make_agent(itempop_env)
+        assert agent.result.best_reward == float("-inf")
+        path = tmp_path / "policy.npz"
+        save_policy(agent, path)
+
+        # The archive's metadata must be standard JSON — no -Infinity.
+        with np.load(path) as archive:
+            text = bytes(archive["metadata"]).decode()
+
+        def reject(token):
+            raise AssertionError(f"non-standard JSON literal {token!r}")
+
+        stored = json.loads(text, parse_constant=reject)
+        assert stored["best_reward"] is None
+
+        metadata = load_policy(make_agent(itempop_env), path)
+        assert metadata["best_reward"] == float("-inf")

@@ -1,0 +1,203 @@
+"""Campaign checkpoint tests: atomic write, bit-identical resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PoisonRec, PoisonRecConfig
+from repro.runtime import (CorruptCheckpointError, ResilienceConfig,
+                           as_npz_path, atomic_savez, load_campaign,
+                           save_campaign)
+
+
+def make_agent(env, seed=0, dim=8):
+    cfg = PoisonRecConfig.ci(num_attackers=6, trajectory_length=8,
+                             samples_per_step=4, batch_size=4,
+                             embedding_dim=dim, seed=seed)
+    return PoisonRec(env, cfg)
+
+
+def assert_agents_identical(reference, resumed):
+    assert len(reference.result.history) == len(resumed.result.history)
+    for a, b in zip(reference.result.history, resumed.result.history):
+        assert a.step == b.step
+        assert a.mean_reward == b.mean_reward
+        assert a.max_reward == b.max_reward
+        assert a.losses == b.losses
+    for p, q in zip(reference.policy.parameters(),
+                    resumed.policy.parameters()):
+        np.testing.assert_array_equal(p.data, q.data)
+    assert (reference.rng.bit_generator.state
+            == resumed.rng.bit_generator.state)
+    assert (reference.trainer.rng.bit_generator.state
+            == resumed.trainer.rng.bit_generator.state)
+    assert reference.result.best_reward == resumed.result.best_reward
+    assert (reference.result.best_trajectories
+            == resumed.result.best_trajectories)
+    assert (reference.reward_moments.state_dict()
+            == resumed.reward_moments.state_dict())
+
+
+class TestAtomicSavez:
+    def test_appends_npz_suffix(self, tmp_path):
+        final = atomic_savez(tmp_path / "archive", {"x": np.arange(3)})
+        assert final == tmp_path / "archive.npz"
+        assert final.exists()
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_savez(tmp_path / "archive.npz", {"x": np.arange(3)})
+        assert [p.name for p in tmp_path.iterdir()] == ["archive.npz"]
+
+    def test_overwrite_preserves_readers_view(self, tmp_path):
+        path = tmp_path / "archive.npz"
+        atomic_savez(path, {"x": np.arange(3)})
+        atomic_savez(path, {"x": np.arange(5)})
+        with np.load(path) as archive:
+            assert archive["x"].shape == (5,)
+
+
+class TestSaveLoadCampaign:
+    def test_resume_is_bit_identical_to_uninterrupted(self, itempop_system,
+                                                      tmp_path):
+        from repro.recsys import BlackBoxEnvironment
+        ck = tmp_path / "campaign.npz"
+
+        itempop_system.reset()
+        reference = make_agent(BlackBoxEnvironment(itempop_system))
+        reference.train(6)
+
+        itempop_system.reset()
+        first = make_agent(BlackBoxEnvironment(itempop_system))
+        first.train(3)
+        save_campaign(first, ck)
+
+        itempop_system.reset()
+        resumed = make_agent(BlackBoxEnvironment(itempop_system))
+        resumed.train(3, resume_from=ck)
+
+        assert resumed.step == 6
+        assert_agents_identical(reference, resumed)
+
+    def test_interrupted_campaign_resumes_exactly(self, itempop_system,
+                                                  tmp_path):
+        """Simulated kill -9 mid-campaign: resume from the last checkpoint."""
+        from repro.recsys import BlackBoxEnvironment
+
+        class Interrupt(RuntimeError):
+            pass
+
+        ck = tmp_path / "campaign.npz"
+        resilience = ResilienceConfig(checkpoint_path=ck, checkpoint_every=2,
+                                      watchdog=None)
+
+        itempop_system.reset()
+        reference = make_agent(BlackBoxEnvironment(itempop_system))
+        reference.train(6)
+
+        def interrupt_at(stats):
+            if stats.step == 4:
+                raise Interrupt
+
+        itempop_system.reset()
+        victim = make_agent(BlackBoxEnvironment(itempop_system))
+        with pytest.raises(Interrupt):
+            victim.train(6, callback=interrupt_at, resilience=resilience)
+
+        itempop_system.reset()
+        survivor = make_agent(BlackBoxEnvironment(itempop_system))
+        metadata = load_campaign(survivor, ck)
+        assert metadata["step"] == 4
+        survivor.train(2)
+        assert_agents_identical(reference, survivor)
+
+    def test_missing_file_raises_file_not_found(self, itempop_env, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_campaign(make_agent(itempop_env), tmp_path / "absent.npz")
+
+    def test_truncated_archive_raises_corrupt_error(self, itempop_env,
+                                                    tmp_path):
+        agent = make_agent(itempop_env)
+        agent.train(1)
+        ck = save_campaign(agent, tmp_path / "campaign.npz")
+        ck.write_bytes(ck.read_bytes()[:100])
+        with pytest.raises(CorruptCheckpointError, match="truncated"):
+            load_campaign(make_agent(itempop_env), ck)
+
+    def test_garbage_file_raises_corrupt_error(self, itempop_env, tmp_path):
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CorruptCheckpointError):
+            load_campaign(make_agent(itempop_env), garbage)
+
+    def test_foreign_npz_raises_corrupt_error(self, itempop_env, tmp_path):
+        foreign = atomic_savez(tmp_path / "foreign.npz",
+                               {"weights": np.arange(4)})
+        with pytest.raises(CorruptCheckpointError):
+            load_campaign(make_agent(itempop_env), foreign)
+
+    def test_dim_mismatch_raises_value_error(self, itempop_env, tmp_path):
+        agent = make_agent(itempop_env, dim=8)
+        ck = save_campaign(agent, tmp_path / "campaign.npz")
+        with pytest.raises(ValueError, match="dim"):
+            load_campaign(make_agent(itempop_env, dim=16), ck)
+
+    def test_untrained_best_reward_roundtrips_as_null(self, itempop_env,
+                                                      tmp_path):
+        agent = make_agent(itempop_env)
+        assert agent.result.best_reward == float("-inf")
+        ck = save_campaign(agent, tmp_path / "campaign.npz")
+
+        # The stored metadata must be strict JSON: parse_constant fires on
+        # any non-standard literal (NaN / Infinity / -Infinity).
+        with np.load(ck) as archive:
+            text = bytes(archive["campaign_json"]).decode()
+
+        def reject(token):
+            raise AssertionError(f"non-standard JSON literal {token!r}")
+
+        metadata = json.loads(text, parse_constant=reject)
+        assert metadata["best_reward"] is None
+
+        fresh = make_agent(itempop_env)
+        fresh.result.best_reward = 123.0
+        loaded = load_campaign(fresh, ck)
+        assert loaded["best_reward"] == float("-inf")
+        assert fresh.result.best_reward == float("-inf")
+
+    def test_nan_history_rewards_roundtrip(self, itempop_env, tmp_path):
+        from repro.core.agent import StepStats
+        agent = make_agent(itempop_env)
+        agent.result.history.append(
+            StepStats(step=0, mean_reward=float("nan"),
+                      max_reward=float("-inf"), losses=[float("inf")]))
+        agent._step = 1
+        ck = save_campaign(agent, tmp_path / "campaign.npz")
+        fresh = make_agent(itempop_env)
+        load_campaign(fresh, ck)
+        entry = fresh.result.history[0]
+        assert np.isnan(entry.mean_reward)
+        assert entry.max_reward == float("-inf")
+        assert entry.losses == [float("inf")]
+
+    def test_checkpoint_restores_optimizer_moments(self, itempop_env,
+                                                   tmp_path):
+        agent = make_agent(itempop_env)
+        agent.train(2)
+        ck = save_campaign(agent, tmp_path / "campaign.npz")
+        fresh = make_agent(itempop_env)
+        load_campaign(fresh, ck)
+        original = agent.trainer.optimizer
+        restored = fresh.trainer.optimizer
+        assert restored._t == original._t
+        assert restored.lr == original.lr
+        for m, n in zip(original._m, restored._m):
+            if m is None:
+                assert n is None
+            else:
+                np.testing.assert_array_equal(m, n)
+
+    def test_as_npz_path_matches_numpy_convention(self, tmp_path):
+        assert as_npz_path("camp").name == "camp.npz"
+        assert as_npz_path("camp.npz").name == "camp.npz"
+        assert as_npz_path(tmp_path / "a.b").name == "a.b.npz"

@@ -1,0 +1,141 @@
+"""Fault-injecting environment tests (against a stub inner environment)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime import (FaultPlan, FaultyEnvironment, QueryTimeoutError,
+                           TransientEnvironmentError)
+
+
+class StubEnvironment:
+    """Minimal black-box surface whose reward is its own query counter."""
+
+    def __init__(self, num_items=20, num_targets=4):
+        self.num_original_items = num_items - num_targets
+        self.num_items = num_items
+        self.target_items = np.arange(self.num_original_items, num_items)
+        self.num_attackers = 3
+        self.item_popularity = np.ones(num_items)
+        self._queries = 0
+
+    def attack(self, trajectories):
+        self._queries += 1
+        return self._queries
+
+    def clean_recnum(self):
+        return 0
+
+    @property
+    def query_count(self):
+        return self._queries
+
+
+class TestFaultPlan:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=0.6, timeout_rate=0.6)
+
+    def test_mixed_splits_the_rate(self):
+        plan = FaultPlan.mixed(0.2, seed=5)
+        assert plan.transient_rate == pytest.approx(0.1)
+        assert plan.timeout_rate == pytest.approx(0.04)
+        assert plan.corrupt_rate == pytest.approx(0.04)
+        assert plan.stale_rate == pytest.approx(0.02)
+        assert plan.total_rate == pytest.approx(0.2)
+        assert plan.seed == 5
+
+    def test_mixed_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan.mixed(1.5)
+
+
+class TestFaultyEnvironment:
+    def run_campaign(self, plan, queries=200):
+        env = FaultyEnvironment(StubEnvironment(), plan)
+        outcomes = []
+        for _ in range(queries):
+            try:
+                outcomes.append(env.attack([[0]]))
+            except TransientEnvironmentError as error:
+                outcomes.append(type(error).__name__)
+        return env, outcomes
+
+    def test_zero_rate_is_transparent(self):
+        env, outcomes = self.run_campaign(FaultPlan(), queries=10)
+        assert outcomes == [float(i) for i in range(1, 11)]
+        assert env.injected == {"transient": 0, "timeout": 0, "corrupt": 0,
+                                "stale": 0}
+
+    def test_seeded_schedule_is_deterministic(self):
+        plan = FaultPlan.mixed(0.3, seed=11)
+        _, first = self.run_campaign(plan)
+        _, second = self.run_campaign(plan)
+        for a, b in zip(first, second):
+            if isinstance(a, float) and math.isnan(a):
+                assert isinstance(b, float) and math.isnan(b)
+            else:
+                assert a == b
+
+    def test_transient_fault_raises_without_querying(self):
+        env = FaultyEnvironment(StubEnvironment(),
+                                FaultPlan(transient_rate=1.0))
+        with pytest.raises(TransientEnvironmentError):
+            env.attack([[0]])
+        assert env.query_count == 0
+        assert env.injected["transient"] == 1
+
+    def test_timeout_fault_reports_latency(self):
+        env = FaultyEnvironment(StubEnvironment(),
+                                FaultPlan(timeout_rate=1.0, deadline=0.5))
+        with pytest.raises(QueryTimeoutError, match="deadline"):
+            env.attack([[0]])
+        assert env.injected["timeout"] == 1
+        # QueryTimeoutError is transient: the retry loop will re-issue it.
+        assert issubclass(QueryTimeoutError, TransientEnvironmentError)
+
+    def test_corrupt_fault_returns_nan_but_queries(self):
+        env = FaultyEnvironment(StubEnvironment(),
+                                FaultPlan(corrupt_rate=1.0))
+        assert math.isnan(env.attack([[0]]))
+        assert env.query_count == 1
+
+    def test_stale_fault_replays_previous_reward(self):
+        inner = StubEnvironment()
+        env = FaultyEnvironment(inner, FaultPlan())
+        first = env.attack([[0]])
+        env.plan = FaultPlan(stale_rate=1.0)
+        stale = env.attack([[0]])
+        assert stale == first
+        assert inner.query_count == 1
+        assert env.injected["stale"] == 1
+
+    def test_stale_without_history_falls_through_to_real_query(self):
+        env = FaultyEnvironment(StubEnvironment(), FaultPlan(stale_rate=1.0))
+        assert env.attack([[0]]) == 1.0
+        assert env.injected["stale"] == 0
+
+    def test_mirrors_attacker_knowledge_surface(self):
+        inner = StubEnvironment()
+        env = FaultyEnvironment(inner, FaultPlan())
+        assert env.num_items == inner.num_items
+        assert env.num_original_items == inner.num_original_items
+        assert env.num_attackers == inner.num_attackers
+        np.testing.assert_array_equal(env.target_items, inner.target_items)
+        np.testing.assert_array_equal(env.item_popularity,
+                                      inner.item_popularity)
+
+    def test_injection_counts_approximate_the_rates(self):
+        plan = FaultPlan.mixed(0.4, seed=3)
+        env, _ = self.run_campaign(plan, queries=1000)
+        total = sum(env.injected.values())
+        assert 300 <= total <= 500
+        assert env.injected["transient"] > env.injected["stale"]
+
+    def test_clean_recnum_is_never_faulted(self):
+        env = FaultyEnvironment(StubEnvironment(),
+                                FaultPlan(transient_rate=1.0))
+        assert env.clean_recnum() == 0

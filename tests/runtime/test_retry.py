@@ -1,0 +1,129 @@
+"""Retry/backoff policy and failure-budget tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (FailureBudget, FailureBudgetExhausted,
+                           FatalEnvironmentError, RetriesExhaustedError,
+                           RetryPolicy, TransientEnvironmentError,
+                           call_with_retry)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                             jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    def test_backoff_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0,
+                             jitter=0.0)
+        assert policy.backoff(5) == pytest.approx(3.0)
+
+    def test_jitter_stays_within_symmetric_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff(1, rng) for _ in range(200)]
+        assert all(0.5 <= d <= 1.5 for d in delays)
+        assert max(delays) > 1.1 and min(delays) < 0.9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestCallWithRetry:
+    def test_success_without_failure_has_zero_retries(self):
+        outcome = call_with_retry(lambda: 42, RetryPolicy(),
+                                  sleep=lambda s: None)
+        assert outcome.value == 42
+        assert outcome.retries == 0
+
+    def test_transient_failures_are_retried(self):
+        calls = {"n": 0}
+        sleeps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientEnvironmentError("flaky")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             jitter=0.0)
+        outcome = call_with_retry(flaky, policy, sleep=sleeps.append)
+        assert outcome.value == "ok"
+        assert outcome.retries == 2
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_exhausted_retries_wrap_last_error(self):
+        def always_fails():
+            raise TransientEnvironmentError("still down")
+
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            call_with_retry(always_fails, policy, sleep=lambda s: None)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, TransientEnvironmentError)
+
+    def test_fatal_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def fatal():
+            calls["n"] += 1
+            raise FatalEnvironmentError("dead")
+
+        with pytest.raises(FatalEnvironmentError):
+            call_with_retry(fatal, RetryPolicy(), sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_unrelated_errors_propagate_immediately(self):
+        def broken():
+            raise KeyError("not an environment problem")
+
+        with pytest.raises(KeyError):
+            call_with_retry(broken, RetryPolicy(), sleep=lambda s: None)
+
+    def test_on_retry_hook_sees_each_failure(self):
+        calls = {"n": 0}
+        seen = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientEnvironmentError(f"fail {calls['n']}")
+            return True
+
+        call_with_retry(flaky, RetryPolicy(jitter=0.0), sleep=lambda s: None,
+                        on_retry=lambda a, e, d: seen.append((a, str(e))))
+        assert seen == [(1, "fail 1"), (2, "fail 2")]
+
+
+class TestFailureBudget:
+    def test_spend_within_limit(self):
+        budget = FailureBudget(3)
+        budget.spend()
+        budget.spend()
+        assert budget.remaining == 1
+
+    def test_exceeding_limit_raises(self):
+        budget = FailureBudget(1)
+        budget.spend(reason="first")
+        with pytest.raises(FailureBudgetExhausted, match="budget of 1"):
+            budget.spend(reason="second")
+
+    def test_zero_budget_fails_on_first_spend(self):
+        with pytest.raises(FailureBudgetExhausted):
+            FailureBudget(0).spend()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FailureBudget(-1)

@@ -1,0 +1,105 @@
+"""Divergence watchdog and running-moments tests."""
+
+import math
+
+import pytest
+
+from repro.core.agent import StepStats
+from repro.runtime import (DivergenceWatchdog, RunningMoments, WatchdogConfig)
+
+
+def stats(step=0, mean=10.0, maximum=None, losses=()):
+    return StepStats(step=step, mean_reward=mean,
+                     max_reward=mean if maximum is None else maximum,
+                     losses=list(losses))
+
+
+class TestRunningMoments:
+    def test_matches_batch_statistics(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        moments = RunningMoments()
+        for value in values:
+            moments.update(value)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert moments.count == len(values)
+        assert moments.mean == pytest.approx(mean)
+        assert moments.variance == pytest.approx(variance)
+        assert moments.std == pytest.approx(math.sqrt(variance))
+
+    def test_empty_moments_are_zero(self):
+        moments = RunningMoments()
+        assert moments.variance == 0.0
+        assert moments.std == 0.0
+
+    def test_state_dict_roundtrip_is_exact(self):
+        moments = RunningMoments()
+        for value in [0.1, 0.2, 0.30000000000000004, 1e300]:
+            moments.update(value)
+        restored = RunningMoments()
+        restored.load_state_dict(moments.state_dict())
+        assert restored.count == moments.count
+        assert restored.mean == moments.mean
+        assert restored.m2 == moments.m2
+
+
+class TestDivergenceWatchdog:
+    def test_nan_loss_fires_immediately(self):
+        watchdog = DivergenceWatchdog()
+        reason = watchdog.observe(stats(losses=[0.1, float("nan")]))
+        assert reason is not None and "loss" in reason
+
+    def test_inf_reward_fires_immediately(self):
+        watchdog = DivergenceWatchdog()
+        reason = watchdog.observe(stats(mean=float("inf")))
+        assert reason is not None and "reward" in reason
+
+    def test_healthy_sequence_stays_quiet(self):
+        watchdog = DivergenceWatchdog()
+        for step in range(50):
+            assert watchdog.observe(stats(step=step, mean=10.0 + step,
+                                          losses=[0.5])) is None
+
+    def test_collapse_fires_after_patience(self):
+        config = WatchdogConfig(ema_beta=0.0, collapse_fraction=0.5,
+                                patience=3, min_peak=1.0)
+        watchdog = DivergenceWatchdog(config)
+        for _ in range(5):
+            assert watchdog.observe(stats(mean=100.0)) is None
+        assert watchdog.observe(stats(mean=1.0)) is None
+        assert watchdog.observe(stats(mean=1.0)) is None
+        reason = watchdog.observe(stats(mean=1.0))
+        assert reason is not None and "collapse" in reason
+
+    def test_recovery_resets_patience(self):
+        config = WatchdogConfig(ema_beta=0.0, collapse_fraction=0.5,
+                                patience=2, min_peak=1.0)
+        watchdog = DivergenceWatchdog(config)
+        assert watchdog.observe(stats(mean=100.0)) is None
+        assert watchdog.observe(stats(mean=1.0)) is None
+        assert watchdog.observe(stats(mean=100.0)) is None
+        assert watchdog.observe(stats(mean=1.0)) is None
+
+    def test_quiet_below_min_peak(self):
+        config = WatchdogConfig(ema_beta=0.0, collapse_fraction=0.5,
+                                patience=1, min_peak=1000.0)
+        watchdog = DivergenceWatchdog(config)
+        assert watchdog.observe(stats(mean=10.0)) is None
+        assert watchdog.observe(stats(mean=0.0)) is None
+
+    def test_reset_clears_collapse_state(self):
+        config = WatchdogConfig(ema_beta=0.0, collapse_fraction=0.5,
+                                patience=1, min_peak=1.0)
+        watchdog = DivergenceWatchdog(config)
+        assert watchdog.observe(stats(mean=100.0)) is None
+        assert watchdog.observe(stats(mean=0.0)) is not None
+        watchdog.reset()
+        assert watchdog.observe(stats(mean=0.0)) is None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(ema_beta=1.0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(collapse_fraction=0.0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(patience=0)

@@ -27,6 +27,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["attack", "--ranker", "svd"])
 
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["attack", "--chaos", "0.1", "--checkpoint", "camp.npz",
+             "--checkpoint-every", "5", "--resume", "--max-retries", "2"])
+        assert args.chaos == pytest.approx(0.1)
+        assert args.checkpoint == "camp.npz"
+        assert args.checkpoint_every == 5
+        assert args.resume is True
+        assert args.max_retries == 2
+
+    def test_resilience_flag_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.chaos == 0.0
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.max_retries == 3
+
 
 class TestCommands:
     def test_datasets_prints_table(self, capsys):
@@ -53,3 +70,24 @@ class TestCommands:
                      "--method", "poisonrec", "--steps", "2"]) == 0
         out = capsys.readouterr().out
         assert "poisonrec best RecNum:" in out
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        assert main(["attack", "--method", "poisonrec", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_chaos_campaign_writes_checkpoint_and_resumes(self, capsys,
+                                                          tmp_path):
+        ck = tmp_path / "campaign.npz"
+        argv = ["attack", "--dataset", "steam", "--ranker", "itempop",
+                "--method", "poisonrec", "--steps", "2", "--chaos", "0.1",
+                "--checkpoint", str(ck), "--checkpoint-every", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "chaos mode" in out
+        assert "resilience:" in out
+        assert ck.exists()
+
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert f"resuming campaign from {ck}" in out
