@@ -81,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run every attack method against one testbed")
     _add_testbed_arguments(compare)
     compare.add_argument("--steps", type=int, default=None)
+
+    check = subparsers.add_parser(
+        "check", help="run the static analyzers (graphlint + shapecheck)")
+    check.add_argument("paths", nargs="*",
+                       default=["src", "tests", "benchmarks"],
+                       help="paths for graphlint "
+                            "(default: src tests benchmarks)")
+    check.add_argument("-v", "--verbose", action="store_true",
+                       help="list every passing shapecheck check")
     return parser
 
 
@@ -187,11 +196,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """``check``: graphlint over ``paths`` plus the full shapecheck run."""
+    from .devtools import lint as graphlint
+    from .devtools.shapecheck import cli as shapecheck_cli
+    lint_code = graphlint.main(list(args.paths))
+    shape_args = ["-v"] if args.verbose else []
+    shape_code = shapecheck_cli.main(shape_args)
+    return max(lint_code, shape_code)
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "evaluate": cmd_evaluate,
     "attack": cmd_attack,
     "compare": cmd_compare,
+    "check": cmd_check,
 }
 
 

@@ -33,7 +33,7 @@ from typing import Dict
 
 import numpy as np
 
-from ..nn import Tensor, stack
+from ..nn import Tensor, shape_spec, stack
 from ..nn import functional as F
 from .bcbt import TreeArrays, build_bcbt
 
@@ -145,6 +145,7 @@ class PlainActionSpace(ActionSpace):
             mask=np.ones((len(items), 1)),
         )
 
+    @shape_spec("(B, E), (R, E), _ -> (B, max_decisions)")
     def step_log_probs(self, dnn_out: Tensor, features: Tensor,
                        decisions: Dict[str, np.ndarray]) -> Tensor:
         items = decisions["items"]
@@ -199,6 +200,7 @@ class BPlainActionSpace(ActionSpace):
             mask=np.ones((batch, 2)),
         )
 
+    @shape_spec("(B, E), (R, E), _ -> (B, max_decisions)")
     def step_log_probs(self, dnn_out: Tensor, features: Tensor,
                        decisions: Dict[str, np.ndarray]) -> Tensor:
         sides = decisions["sides"]
@@ -290,6 +292,7 @@ class TreeActionSpace(ActionSpace):
                           decisions={"parents": parents, "sides": sides},
                           log_probs=log_probs, mask=mask)
 
+    @shape_spec("(B, E), (R, E), _ -> (B, max_decisions)")
     def step_log_probs(self, dnn_out: Tensor, features: Tensor,
                        decisions: Dict[str, np.ndarray]) -> Tensor:
         parents = decisions["parents"]

@@ -333,7 +333,7 @@ class PoisonRec:
     # ------------------------------------------------------------------
     def evaluate(self, num_samples: int = 4) -> float:
         """Mean RecNum of attacks sampled from the current policy."""
-        rewards = [float(self.env.attack(self.sample_attack().trajectories()))
+        rewards = [self._query(self.sample_attack().trajectories(), None)[0]
                    for _ in range(num_samples)]
         return float(np.mean(rewards))
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..nn import Embedding, LSTMCell, MLP, Module, Tensor, stack
+from ..nn import Embedding, LSTMCell, MLP, Module, Tensor, shape_spec, stack
 from .action_space import ActionSpace
 
 
@@ -131,6 +131,7 @@ class PolicyNetwork(Module):
     # ------------------------------------------------------------------
     # autograd recompute (PPO update)
     # ------------------------------------------------------------------
+    @shape_spec("(B, T), _ -> (B, T, action_space.max_decisions)")
     def rollout_log_probs(self, items: np.ndarray,
                           decisions: Dict[str, np.ndarray]) -> Tensor:
         """Log-probs of recorded decisions under the *current* parameters.

@@ -1,12 +1,18 @@
 """Repo-native developer tooling: static analysis and numerical checking.
 
-Two pillars keep the reproduction trustworthy as it scales:
+Three pillars keep the reproduction trustworthy as it scales:
 
 * :mod:`repro.devtools.lint` — **graphlint**, a dependency-free AST linter
   enforcing the repo's correctness invariants (seeded randomness, no blind
   exception handlers, sanctioned tensor mutation, dtype discipline,
-  backward-closure hygiene, docstring coverage) as named ``REPxxx`` rules.
+  backward-closure hygiene, docstring coverage, checkpoint determinism,
+  retry-wrapped environment queries) as named ``REPxxx`` rules.
   Run it with ``python -m repro.devtools.lint src/ tests/ benchmarks/``.
+* :mod:`repro.devtools.shapecheck` — **shapecheck**, a symbolic
+  shape/dtype abstract interpreter that runs the real ``repro.nn``
+  forward passes on tensors with named symbolic dims and verifies the
+  ``@shape_spec`` contracts declared across the stack.  Run it with
+  ``python -m repro.devtools.shapecheck``.
 * :mod:`repro.devtools.gradcheck` — the shared finite-difference gradient
   checker used by the ``repro.nn`` test-suite and by recommender-loss
   end-to-end checks.
@@ -16,20 +22,34 @@ The autograd *runtime* sanitizer lives next to the engine it instruments:
 """
 
 __all__ = ["Diagnostic", "RULES", "lint_paths", "lint_source",
-           "gradcheck", "gradcheck_param", "numeric_gradient"]
+           "gradcheck", "gradcheck_param", "numeric_gradient",
+           "ContractError", "ShapeError", "SymTensor", "checked_call",
+           "run_shapecheck", "symbolic_trace"]
+
+_LINT_NAMES = ("Diagnostic", "RULES", "lint_paths", "lint_source")
+_GRADCHECK_NAMES = ("gradcheck", "gradcheck_param", "numeric_gradient")
+_SHAPECHECK_NAMES = {"ContractError": "ContractError",
+                     "ShapeError": "ShapeError",
+                     "SymTensor": "SymTensor",
+                     "checked_call": "checked_call",
+                     "run_shapecheck": "run_all",
+                     "symbolic_trace": "symbolic_trace"}
 
 
 def __getattr__(name):
-    """Lazily resolve the public surface from the two submodules.
+    """Lazily resolve the public surface from the submodules.
 
     Keeps ``python -m repro.devtools.lint`` free of double-import
     warnings and keeps the (stdlib-only) linter importable without the
-    numeric stack the gradcheck helpers need.
+    numeric stack the gradcheck/shapecheck helpers need.
     """
-    if name in ("Diagnostic", "RULES", "lint_paths", "lint_source"):
+    if name in _LINT_NAMES:
         from . import lint
         return getattr(lint, name)
-    if name in ("gradcheck", "gradcheck_param", "numeric_gradient"):
+    if name in _GRADCHECK_NAMES:
         from . import gradcheck as _gradcheck
         return getattr(_gradcheck, name)
+    if name in _SHAPECHECK_NAMES:
+        from . import shapecheck as _shapecheck
+        return getattr(_shapecheck, _SHAPECHECK_NAMES[name])
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,14 +15,21 @@ REP004    no dtype literals bypassing the engine's ``_FLOAT``
 REP005    every ``Tensor._make`` call site in ``repro/nn/`` defines a
           local ``backward`` closure
 REP006    public modules, classes and functions carry docstrings
+REP007    no wall-clock / process-identity / set-iteration values
+          flowing into checkpointed state (flow-sensitive taint)
+REP008    environment queries in ``repro/core/`` go through the
+          ``call_with_retry`` wrapper, never raw ``env.attack``
 ========  ===========================================================
 
 Usage::
 
     python -m repro.devtools.lint src/ tests/ benchmarks/
     python -m repro.devtools.lint --rules          # describe every rule
+    python -m repro.devtools.lint --format=json    # machine-readable
+    python -m repro.devtools.lint --statistics     # per-rule counts
 
-A diagnostic can be silenced for one line with a trailing comment::
+A diagnostic can be silenced with a trailing comment on any physical
+line of the offending statement::
 
     thing.data = arr  # graphlint: disable=REP003
 
@@ -34,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from dataclasses import dataclass
@@ -346,10 +354,212 @@ class DocstringRule(Rule):
                     "docstring")
 
 
+#: ``module.func`` attribute chains whose results are nondeterministic
+#: across runs and must never reach checkpointed state.
+_REP007_SOURCE_CHAINS = frozenset({
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+    ("os", "urandom"), ("os", "getpid"),
+})
+
+#: Callable names that persist state (checkpoint writers / serializers).
+_REP007_SINK_NAMES = frozenset({
+    "save_campaign", "save_policy", "atomic_savez",
+    "savez", "savez_compressed", "dump", "dumps",
+})
+
+
+def _call_name(node: ast.Call) -> str:
+    """The trailing identifier of a call target (``a.b.c()`` → ``"c"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _walk_unsorted(node: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but pruned below ``sorted(...)`` calls.
+
+    Sorting launders set-iteration-order nondeterminism, so anything
+    inside a ``sorted`` call is deterministic for REP007's purposes.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, ast.Call) and _call_name(current) == "sorted":
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _is_rep007_source(node: ast.AST) -> str | None:
+    """Describe ``node`` if it produces a run-to-run varying value."""
+    if not isinstance(node, ast.Call):
+        # Set displays have no stable iteration order either.
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set (unordered iteration)"
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        value = func.value
+        # time.time(), uuid.uuid4(), datetime.datetime.now(), ...
+        base = None
+        if isinstance(value, ast.Name):
+            base = value.id
+        elif isinstance(value, ast.Attribute):
+            base = value.attr
+        if base is not None and (base, attr) in _REP007_SOURCE_CHAINS:
+            return f"{base}.{attr}()"
+    elif isinstance(func, ast.Name) and func.id == "set":
+        return "set() (unordered iteration)"
+    return None
+
+
+class CheckpointDeterminismRule(Rule):
+    """REP007: checkpointed state must be a pure function of the seed."""
+
+    id = "REP007"
+    title = "nondeterministic value flowing into checkpointed state"
+    rationale = ("Checkpoints must make a resumed campaign bit-identical; "
+                 "wall-clock readings, process ids, uuids and set iteration "
+                 "order differ between runs, so persisting them breaks the "
+                 "resume contract.")
+
+    def check(self, ctx: _FileContext) -> Iterator[Diagnostic]:
+        """Taint-track nondeterministic sources into persistence sinks."""
+        if ctx.is_testlike():
+            return
+        yield from self._check_scope(ctx, ctx.tree.body, set())
+
+    def _check_scope(self, ctx: _FileContext, body: Sequence[ast.stmt],
+                     tainted: set) -> Iterator[Diagnostic]:
+        # Flow-sensitive over statement order within one scope; nested
+        # function scopes start from a copy of the enclosing taint set
+        # (a closure sees names bound before its definition).
+        tainted = set(tainted)
+        origins: dict = {}
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, stmt.body, tainted)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._check_scope(ctx, stmt.body, set())
+                continue
+            # Sinks first, so `x = time.time(); dump(x)` on one line of
+            # control flow reports at the dump, not the assignment.
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    yield from self._check_sink(ctx, node, tainted, origins)
+            self._propagate(stmt, tainted, origins)
+
+    @staticmethod
+    def _propagate(stmt: ast.stmt, tainted: set, origins: dict) -> None:
+        for node in ast.walk(stmt):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            source = None
+            for sub in _walk_unsorted(value):
+                source = _is_rep007_source(sub)
+                if source is None and isinstance(sub, ast.Name):
+                    if sub.id in tainted:
+                        source = origins.get(sub.id, "tainted value")
+                if source is not None:
+                    break
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        if source is not None:
+                            tainted.add(name.id)
+                            origins[name.id] = source
+                        else:
+                            tainted.discard(name.id)
+                            origins.pop(name.id, None)
+
+    def _check_sink(self, ctx: _FileContext, call: ast.Call, tainted: set,
+                    origins: dict) -> Iterator[Diagnostic]:
+        name = _call_name(call)
+        if not (name in _REP007_SINK_NAMES or "checkpoint" in name.lower()):
+            return
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in arguments:
+            for sub in _walk_unsorted(argument):
+                source = _is_rep007_source(sub)
+                if source is None and isinstance(sub, ast.Name):
+                    if sub.id in tainted:
+                        source = origins.get(sub.id, "tainted value")
+                if source is not None:
+                    yield ctx.diag(
+                        call, self.id,
+                        f"nondeterministic value from {source} flows into "
+                        f"checkpointed state via '{name}' — derive persisted "
+                        "values from the seed instead")
+                    return
+
+
+class RawEnvironmentQueryRule(Rule):
+    """REP008: the agent's environment queries carry the retry contract."""
+
+    id = "REP008"
+    title = "raw env.attack query outside the retry wrapper"
+    rationale = ("repro/core code must query the black-box environment "
+                 "through call_with_retry so transient faults are retried "
+                 "and budgeted instead of killing a long campaign.")
+
+    def check(self, ctx: _FileContext) -> Iterator[Diagnostic]:
+        """Flag ``env.attack(...)`` outside ``call_with_retry`` scopes."""
+        if "repro/core/" not in ctx.rel or ctx.is_testlike():
+            return
+
+        def walk(node: ast.AST, sanctioned: bool) -> Iterator[Diagnostic]:
+            for child in ast.iter_child_nodes(node):
+                child_ok = sanctioned
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_ok = sanctioned or self._uses_retry(child)
+                if (isinstance(child, ast.Call)
+                        and self._is_env_attack(child) and not child_ok):
+                    yield ctx.diag(
+                        child, self.id,
+                        "raw environment query — route it through "
+                        "call_with_retry (see PoisonRec._query)")
+                yield from walk(child, child_ok)
+
+        yield from walk(ctx.tree, False)
+
+    @staticmethod
+    def _is_env_attack(call: ast.Call) -> bool:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "attack"):
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in ("env", "environment")
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in ("env", "environment", "_env")
+        return False
+
+    @staticmethod
+    def _uses_retry(fn: ast.AST) -> bool:
+        return any(isinstance(node, ast.Call)
+                   and _call_name(node) == "call_with_retry"
+                   for node in ast.walk(fn))
+
+
 #: Every active rule, in report order.
 RULES: Tuple[Rule, ...] = (
     LegacyRandomRule(), BlindExceptRule(), TensorMutationRule(),
     DtypeLiteralRule(), BackwardClosureRule(), DocstringRule(),
+    CheckpointDeterminismRule(), RawEnvironmentQueryRule(),
 )
 
 
@@ -365,6 +575,52 @@ def _suppressed_rules(line: str) -> frozenset | None:
                      if part.strip())
 
 
+def _stmt_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Physical line spans of every statement, headers only for blocks.
+
+    A compound statement's span stops before its first body statement so
+    a suppression inside a ``def`` cannot silence a diagnostic anchored
+    on the ``def`` line itself.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        spans.append((start, end))
+    return spans
+
+
+def _is_suppressed(diag: Diagnostic, lines: Sequence[str],
+                   spans: Sequence[Tuple[int, int]]) -> bool:
+    """Whether a disable comment covers ``diag``.
+
+    The comment may sit on any physical line of the *innermost*
+    statement containing the diagnostic — multi-line calls and
+    parenthesized expressions commonly carry it on their closing line.
+    """
+    candidates = {diag.line}
+    best: Tuple[int, int] | None = None
+    for start, end in spans:
+        if start <= diag.line <= end:
+            if best is None or end - start < best[1] - best[0]:
+                best = (start, end)
+    if best is not None:
+        candidates.update(range(best[0], best[1] + 1))
+    for lineno in candidates:
+        if not 0 < lineno <= len(lines):
+            continue
+        disabled = _suppressed_rules(lines[lineno - 1])
+        if disabled is not None and (not disabled or diag.rule in disabled):
+            return True
+    return False
+
+
 def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
     """Lint one file's source text; returns sorted diagnostics."""
     try:
@@ -373,14 +629,12 @@ def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
         return [Diagnostic(path, err.lineno or 1, (err.offset or 0) + 1,
                            "REP000", f"syntax error: {err.msg}")]
     lines = source.splitlines()
+    spans = _stmt_spans(tree)
     diagnostics: List[Diagnostic] = []
     ctx = _FileContext(path, tree, lines)
     for rule in RULES:
         for diag in rule.check(ctx):
-            line_text = (lines[diag.line - 1]
-                         if 0 < diag.line <= len(lines) else "")
-            disabled = _suppressed_rules(line_text)
-            if disabled is not None and (not disabled or diag.rule in disabled):
+            if _is_suppressed(diag, lines, spans):
                 continue
             diagnostics.append(diag)
     return sorted(diagnostics)
@@ -427,6 +681,26 @@ def _print_rules() -> None:
         print(f"        {rule.rationale}")
 
 
+def rule_statistics(diagnostics: Sequence[Diagnostic]) -> dict:
+    """Diagnostic counts per rule id, covering every registered rule."""
+    counts = {rule.id: 0 for rule in RULES}
+    for diag in diagnostics:
+        counts[diag.rule] = counts.get(diag.rule, 0) + 1
+    return counts
+
+
+def _render_json(diagnostics: Sequence[Diagnostic], checked: int) -> str:
+    """The ``--format=json`` payload (diagnostics, stats, file count)."""
+    payload = {
+        "diagnostics": [{"path": d.path, "line": d.line, "col": d.col,
+                         "rule": d.rule, "message": d.message}
+                        for d in diagnostics],
+        "files_checked": checked,
+        "statistics": rule_statistics(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -438,6 +712,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "(default: src tests benchmarks)")
     parser.add_argument("--rules", action="store_true",
                         help="describe every rule and exit")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (json suppresses the human "
+                             "report; exit codes are unchanged)")
+    parser.add_argument("--statistics", action="store_true",
+                        help="print per-rule diagnostic counts")
     args = parser.parse_args(argv)
     if args.rules:
         _print_rules()
@@ -447,8 +726,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"graphlint: {error}", file=sys.stderr)
         return 2
+    if args.format == "json":
+        print(_render_json(diagnostics, checked))
+        return 1 if diagnostics else 0
     for diag in diagnostics:
         print(diag.format())
+    if args.statistics:
+        for rule_id, count in sorted(rule_statistics(diagnostics).items()):
+            print(f"{rule_id}  {count}")
     if diagnostics:
         files = len({d.path for d in diagnostics})
         print(f"graphlint: {len(diagnostics)} error(s) in {files} file(s) "

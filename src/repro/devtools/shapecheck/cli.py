@@ -1,0 +1,44 @@
+"""Command-line entry point: ``python -m repro.devtools.shapecheck``.
+
+Runs every driver check (symbolic nn/recsys forward passes, all four
+policy variants, concrete ranker probes) and reports per-check status.
+Exit code 0 when every contract holds, 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .drivers import CheckResult, run_all
+
+
+def _render(results: List[CheckResult], verbose: bool) -> int:
+    failures = [r for r in results if not r.ok]
+    for result in results:
+        if result.ok:
+            if verbose:
+                print(f"   ok {result.name}")
+        else:
+            print(f" FAIL {result.name}")
+            for line in result.detail.splitlines():
+                print(f"      {line}")
+    if failures:
+        print(f"shapecheck: {len(failures)} of {len(results)} checks "
+              f"failed", file=sys.stderr)
+        return 1
+    print(f"shapecheck: clean ({len(results)} checks)", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the whole-repo shape check; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.shapecheck",
+        description="Abstract-interpret every model forward pass with "
+                    "symbolic shapes and verify @shape_spec contracts.")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print passing checks too")
+    args = parser.parse_args(argv)
+    return _render(run_all(), args.verbose)

@@ -1,0 +1,229 @@
+"""Whole-repo shape verification drivers.
+
+Three lanes, mirroring how the stack is actually wired:
+
+1. **Symbolic** — every nn layer and every neural recommender's inner
+   network runs its real forward pass on tensors whose batch dim is the
+   symbol ``B``, under :func:`~.trace.symbolic_trace`.  One pass proves
+   the wiring for *all* batch sizes.
+2. **Policy** — :class:`~repro.core.policy.PolicyNetwork` for all four
+   action-space kinds (Plain, BPlain, both BCBTs) runs
+   ``rollout_log_probs`` on symbolic tensors with small concrete dims
+   (the rollout recompute indexes with ``np.arange``, which pins the
+   batch), still without a single real matmul.
+3. **Probe** — every registered ranker is fit on a tiny synthetic log
+   and its ``score``/``score_batch`` contracts are verified on real
+   values, covering the non-neural rankers the tracer can't reach.
+
+Each check is independent; failures carry the ShapeError/ContractError
+message with its ``file:line``-anchored op chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...core.action_space import ACTION_SPACE_KINDS, make_action_space
+from ...core.policy import PolicyNetwork
+from ...data.interactions import InteractionLog
+from ...nn import GRU, GRUCell, LSTM, LSTMCell, MLP, Dense, Embedding
+from ...recsys.autorec import _AutoRecNet
+from ...recsys.gru4rec import _GRU4RecNet
+from ...recsys.neumf import _NeuMFNet
+from ...recsys.ngcf import _NGCFNet
+from ...recsys.registry import RANKER_NAMES, make_ranker
+from .contracts import ContractError, checked_call
+from .symbolic import INT64, Dim, ShapeError, sym_input
+from .trace import symbolic_trace
+
+#: Exceptions a check may legitimately raise; anything else is a crash.
+CHECK_ERRORS = (ShapeError, ContractError, TypeError, ValueError,
+                AttributeError, RuntimeError, IndexError, KeyError,
+                NotImplementedError)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one named check (``detail`` holds the failure text)."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# Lane 1: fully-symbolic nn layers and inner recommender nets
+# ----------------------------------------------------------------------
+def _check_dense() -> None:
+    dense = Dense(4, 7, np.random.default_rng(0), activation="relu")
+    with symbolic_trace():
+        checked_call(dense, "__call__", sym_input(("B", 4)))
+
+
+def _check_mlp() -> None:
+    mlp = MLP([6, 5, 3], np.random.default_rng(0))
+    with symbolic_trace():
+        checked_call(mlp, "__call__", sym_input(("B", 6)))
+
+
+def _check_embedding() -> None:
+    embedding = Embedding(10, 6, np.random.default_rng(0))
+    with symbolic_trace():
+        checked_call(embedding, "__call__", sym_input(("B",), INT64))
+
+
+def _check_lstm_cell() -> None:
+    cell = LSTMCell(5, 9, np.random.default_rng(0))
+    with symbolic_trace():
+        state = cell.initial_state(Dim("B"))
+        checked_call(cell, "__call__", sym_input(("B", 5)), state)
+
+
+def _check_lstm() -> None:
+    lstm = LSTM(5, 9, np.random.default_rng(0))
+    with symbolic_trace():
+        inputs = [sym_input(("B", 5)) for _ in range(3)]
+        checked_call(lstm, "__call__", inputs)
+
+
+def _check_gru_cell() -> None:
+    cell = GRUCell(5, 9, np.random.default_rng(0))
+    with symbolic_trace():
+        state = cell.initial_state(Dim("B"))
+        checked_call(cell, "__call__", sym_input(("B", 5)), state)
+
+
+def _check_gru() -> None:
+    gru = GRU(5, 9, np.random.default_rng(0))
+    with symbolic_trace():
+        inputs = [sym_input(("B", 5)) for _ in range(3)]
+        checked_call(gru, "__call__", inputs)
+
+
+def _check_neumf_net() -> None:
+    net = _NeuMFNet(6, 10, 8, np.random.default_rng(0))
+    with symbolic_trace():
+        checked_call(net, "logits", sym_input(("B",), INT64),
+                     sym_input(("B",), INT64))
+
+
+def _check_autorec_net() -> None:
+    net = _AutoRecNet(10, 4, np.random.default_rng(0))
+    with symbolic_trace():
+        checked_call(net, "__call__", sym_input(("B", 10)))
+
+
+def _check_gru4rec_net() -> None:
+    net = _GRU4RecNet(10, 6, np.random.default_rng(0))
+    with symbolic_trace():
+        hidden = checked_call(net, "encode", sym_input(("B", 5), INT64))
+        checked_call(net, "all_item_logits", hidden)
+
+
+def _check_ngcf_net() -> None:
+    net = _NGCFNet(12, 6, 2, np.random.default_rng(0))
+    adjacency = sp.csr_matrix((12, 12))
+    with symbolic_trace():
+        checked_call(net, "propagate", adjacency)
+
+
+# ----------------------------------------------------------------------
+# Lane 2: the policy network over every action-space design
+# ----------------------------------------------------------------------
+def _policy_decisions(kind: str, batch: int, steps: int,
+                      depth: int) -> Dict[str, np.ndarray]:
+    flat = np.zeros((batch, steps), dtype=np.int64)
+    if kind == "plain":
+        return {"items": flat}
+    if kind == "bplain":
+        return {"sides": flat, "items": flat.copy()}
+    tree = np.zeros((batch, steps, depth), dtype=np.int64)
+    return {"parents": tree, "sides": tree.copy()}
+
+
+def _make_policy_check(kind: str) -> Callable[[], None]:
+    def check() -> None:
+        popularity = np.arange(12, dtype=np.float64)[::-1]
+        space = make_action_space(kind, 8, np.arange(8, 12), popularity)
+        policy = PolicyNetwork(space, num_attackers=3, dim=8, seed=0)
+        batch, steps = 3, 4
+        items = np.zeros((batch, steps), dtype=np.int64)
+        decisions = _policy_decisions(kind, batch, steps,
+                                      space.max_decisions)
+        with symbolic_trace():
+            checked_call(policy, "rollout_log_probs", items, decisions)
+    return check
+
+
+# ----------------------------------------------------------------------
+# Lane 3: concrete micro-probe of every registered ranker
+# ----------------------------------------------------------------------
+_PROBE_USERS, _PROBE_ITEMS = 6, 12
+
+
+def _probe_log() -> InteractionLog:
+    log = InteractionLog(_PROBE_ITEMS)
+    rng = np.random.default_rng(7)
+    for user in range(_PROBE_USERS):
+        log.add_sequence(user, rng.integers(0, _PROBE_ITEMS,
+                                            size=5).tolist())
+    return log
+
+
+def _make_probe_check(name: str) -> Callable[[], None]:
+    def check() -> None:
+        ranker = make_ranker(name, _PROBE_USERS, _PROBE_ITEMS, seed=0)
+        ranker.fit(_probe_log())
+        checked_call(ranker, "score", 0, np.arange(5, dtype=np.int64))
+        candidates = np.tile(np.arange(5, dtype=np.int64), (2, 1))
+        checked_call(ranker, "score_batch",
+                     np.array([0, 1], dtype=np.int64), candidates)
+    return check
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+def build_checks() -> List[Tuple[str, Callable[[], None]]]:
+    """All named checks, in deterministic execution order."""
+    checks: List[Tuple[str, Callable[[], None]]] = [
+        ("nn.Dense", _check_dense),
+        ("nn.MLP", _check_mlp),
+        ("nn.Embedding", _check_embedding),
+        ("nn.LSTMCell", _check_lstm_cell),
+        ("nn.LSTM", _check_lstm),
+        ("nn.GRUCell", _check_gru_cell),
+        ("nn.GRU", _check_gru),
+        ("recsys.neumf.net", _check_neumf_net),
+        ("recsys.autorec.net", _check_autorec_net),
+        ("recsys.gru4rec.net", _check_gru4rec_net),
+        ("recsys.ngcf.net", _check_ngcf_net),
+    ]
+    checks.extend((f"core.policy[{kind}]", _make_policy_check(kind))
+                  for kind in ACTION_SPACE_KINDS)
+    checks.extend((f"recsys.probe[{name}]", _make_probe_check(name))
+                  for name in RANKER_NAMES)
+    return checks
+
+
+def run_checks(checks) -> List[CheckResult]:
+    """Run ``(name, fn)`` pairs, catching contract/shape violations."""
+    results = []
+    for name, check in checks:
+        try:
+            check()
+        except CHECK_ERRORS as error:
+            results.append(CheckResult(
+                name, False, f"{type(error).__name__}: {error}"))
+        else:
+            results.append(CheckResult(name, True))
+    return results
+
+
+def run_all() -> List[CheckResult]:
+    """Run every check over the whole repo."""
+    return run_checks(build_checks())

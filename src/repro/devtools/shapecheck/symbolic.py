@@ -1,0 +1,709 @@
+"""Symbolic shape/dtype domain for the shapecheck abstract interpreter.
+
+The abstract value is a :class:`SymTensor`: a tensor that carries a shape
+(whose dims are ints or named :class:`Dim` symbols like ``B``), a dtype
+from a four-point lattice (``bool < int64 < float32 < float64``) and
+provenance (the op that produced it, the ``file:line`` call site, and its
+parent values) — but **no data**.  Every op rule here mirrors the concrete
+semantics of :mod:`repro.nn.tensor` and :mod:`repro.nn.functional`:
+broadcasting, matmul (1-D/2-D/batched), concat/stack, reshape with ``-1``,
+reductions and numpy basic/advanced indexing.
+
+A rule violation raises :class:`ShapeError` carrying the op chain that led
+to the bad call, anchored at the first stack frame outside the engine —
+i.e. the line of *model* code that wired the shapes wrong.
+
+Interop with the real engine is deliberate: ``SymTensor.data`` returns the
+symbolic value itself and ``__array_ufunc__ = None`` makes numpy defer to
+the reflected operators, so real ``Tensor`` arithmetic transparently
+produces symbolic results while tracing (see ``trace.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# dtype lattice
+# ----------------------------------------------------------------------
+BOOL = "bool"
+INT64 = "int64"
+FLOAT32 = "float32"
+FLOAT64 = "float64"
+
+_DTYPE_ORDER = (BOOL, INT64, FLOAT32, FLOAT64)
+_FLOATS = (FLOAT32, FLOAT64)
+
+
+def promote(a: str, b: str) -> str:
+    """Result dtype of combining two abstract dtypes (numpy-style)."""
+    return _DTYPE_ORDER[max(_DTYPE_ORDER.index(a), _DTYPE_ORDER.index(b))]
+
+
+def dtype_of_array(arr: np.ndarray) -> str:
+    """Map a concrete numpy dtype onto the abstract lattice."""
+    kind = arr.dtype.kind
+    if kind == "b":
+        return BOOL
+    if kind in "iu":
+        return INT64
+    if arr.dtype == np.float32:
+        return FLOAT32
+    return FLOAT64
+
+
+# ----------------------------------------------------------------------
+# Symbolic dimensions
+# ----------------------------------------------------------------------
+class Dim:
+    """A named symbolic dimension (e.g. the batch size ``B``).
+
+    Two :class:`Dim` instances are interchangeable iff their names match;
+    arithmetic with other dims produces derived names like ``B+T``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Dim) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Dim", self.name))
+
+
+DimLike = Union[int, Dim]
+ShapeLike = Tuple[DimLike, ...]
+
+
+def dims_equal(a: DimLike, b: DimLike) -> bool:
+    """Whether two dims are provably equal (symbolic vs concrete never is)."""
+    if isinstance(a, Dim) or isinstance(b, Dim):
+        return a == b
+    return int(a) == int(b)
+
+
+def add_dims(a: DimLike, b: DimLike) -> DimLike:
+    """Sum of two dims; symbolic operands produce a derived name."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a + b
+    return Dim(f"{a}+{b}")
+
+
+def fmt_shape(shape: Sequence[DimLike]) -> str:
+    """Render ``(3, B, 5)``-style shape text."""
+    if len(shape) == 1:
+        return f"({shape[0]},)"
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+def _normalize_shape(shape) -> ShapeLike:
+    out = []
+    for dim in tuple(shape):
+        if isinstance(dim, Dim):
+            out.append(dim)
+        elif isinstance(dim, (int, np.integer)):
+            out.append(int(dim))
+        else:
+            raise TypeError(f"invalid symbolic dim {dim!r}")
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Provenance
+# ----------------------------------------------------------------------
+_PKG_DIR = os.path.dirname(os.path.abspath(__file__))
+_ENGINE_BASENAMES = ("tensor.py", "functional.py", "layers.py", "lstm.py")
+
+
+def capture_frames(limit: int = 8) -> Tuple[Tuple[str, int, str], ...]:
+    """Call-site stack ``(file, line, function)`` outside shapecheck itself."""
+    frames = []
+    frame = sys._getframe(1)
+    while frame is not None and len(frames) < limit:
+        path = frame.f_code.co_filename
+        if not os.path.abspath(path).startswith(_PKG_DIR):
+            frames.append((path, frame.f_lineno, frame.f_code.co_name))
+        frame = frame.f_back
+    return tuple(frames)
+
+
+def _is_engine_frame(frame: Tuple[str, int, str]) -> bool:
+    path = frame[0]
+    return (os.path.basename(path) in _ENGINE_BASENAMES
+            and f"{os.sep}nn{os.sep}" in path)
+
+
+def anchor_site(frames: Sequence[Tuple[str, int, str]]
+                ) -> Optional[Tuple[str, int, str]]:
+    """Preferred ``file:line`` anchor: the first non-engine caller frame."""
+    for frame in frames:
+        if not _is_engine_frame(frame):
+            return frame
+    return frames[0] if frames else None
+
+
+def _site_text(frames) -> str:
+    site = anchor_site(frames)
+    if site is None:
+        return "<unknown>"
+    return f"{site[0]}:{site[1]}"
+
+
+class ShapeError(Exception):
+    """An abstract-interpretation rule violation, with op-chain provenance.
+
+    ``site`` is the anchored ``(file, line, function)`` of the offending
+    call; the rendered message appends the chain of producing ops so a
+    mis-wired layer reads like a traceback of shapes.
+    """
+
+    def __init__(self, message: str, site=None, operands=()) -> None:
+        super().__init__(message)
+        self.site = site
+        self.operands = tuple(operands)
+
+
+def format_chain(value: "SymTensor", limit: int = 8) -> str:
+    """Render the first-parent op chain that produced ``value``."""
+    lines = []
+    node: Optional[SymTensor] = value
+    while node is not None and len(lines) < limit:
+        shape = fmt_shape(node.shape)
+        lines.append(f"    {node.op:<12} -> {shape} {node.dtype}"
+                     f"  at {_site_text(node.frames)}")
+        node = next((p for p in node.parents if isinstance(p, SymTensor)),
+                    None)
+    return "\n".join(lines)
+
+
+def _fail(op: str, message: str, operands=(), frames=None) -> None:
+    frames = frames if frames is not None else capture_frames()
+    site = anchor_site(frames)
+    parts = [f"{op}: {message}", f"  at {_site_text(frames)} (op '{op}')"]
+    # The anchor prefers the *caller* of the nn engine; when the op
+    # actually executed inside an engine file, name that line too — a
+    # mis-wired layer is fixed in the layer, not at its call site.
+    if frames and site is not None and frames[0] != site:
+        inner = frames[0]
+        parts.insert(1, f"  in {inner[0]}:{inner[1]} ({inner[2]})")
+    for index, operand in enumerate(operands):
+        if isinstance(operand, SymTensor):
+            parts.append(f"  operand {index}: {fmt_shape(operand.shape)} "
+                         f"{operand.dtype} <- '{operand.op}' "
+                         f"at {_site_text(operand.frames)}")
+        else:
+            parts.append(f"  operand {index}: {operand!r}")
+    chains = [o for o in operands if isinstance(o, SymTensor) and o.parents]
+    if chains:
+        parts.append("  op chain (most recent first):")
+        parts.append(format_chain(chains[0]))
+    raise ShapeError("\n".join(parts), site=site, operands=operands)
+
+
+# ----------------------------------------------------------------------
+# Shape algebra
+# ----------------------------------------------------------------------
+def broadcast_shapes(a: ShapeLike, b: ShapeLike, op: str = "broadcast",
+                     operands=()) -> ShapeLike:
+    """Numpy broadcasting over symbolic shapes; raises on impossibility."""
+    out = []
+    for i in range(max(len(a), len(b))):
+        da = a[len(a) - 1 - i] if i < len(a) else 1
+        db = b[len(b) - 1 - i] if i < len(b) else 1
+        if dims_equal(da, db):
+            out.append(da)
+        elif isinstance(da, int) and da == 1:
+            out.append(db)
+        elif isinstance(db, int) and db == 1:
+            out.append(da)
+        else:
+            _fail(op, f"cannot broadcast {fmt_shape(a)} with {fmt_shape(b)} "
+                      f"(dim {da} vs {db})", operands)
+    return tuple(reversed(out))
+
+
+def matmul_shape(a: ShapeLike, b: ShapeLike, operands=()) -> ShapeLike:
+    """Shape of ``a @ b`` with numpy's 1-D/2-D/batched promotion rules."""
+    if len(a) == 0 or len(b) == 0:
+        _fail("matmul", "matmul operands must be at least 1-D", operands)
+    if len(a) == 1 and len(b) == 1:
+        if not dims_equal(a[0], b[0]):
+            _fail("matmul", f"inner dims {a[0]} vs {b[0]} differ "
+                            f"({fmt_shape(a)} @ {fmt_shape(b)})", operands)
+        return ()
+    if len(b) == 1:
+        if not dims_equal(a[-1], b[0]):
+            _fail("matmul", f"inner dims {a[-1]} vs {b[0]} differ "
+                            f"({fmt_shape(a)} @ {fmt_shape(b)})", operands)
+        return a[:-1]
+    if len(a) == 1:
+        if not dims_equal(a[0], b[-2]):
+            _fail("matmul", f"inner dims {a[0]} vs {b[-2]} differ "
+                            f"({fmt_shape(a)} @ {fmt_shape(b)})", operands)
+        return b[:-2] + (b[-1],)
+    if not dims_equal(a[-1], b[-2]):
+        _fail("matmul", f"inner dims {a[-1]} vs {b[-2]} differ "
+                        f"({fmt_shape(a)} @ {fmt_shape(b)})", operands)
+    batch = broadcast_shapes(a[:-2], b[:-2], op="matmul", operands=operands)
+    return batch + (a[-2], b[-1])
+
+
+def concat_shapes(shapes: Sequence[ShapeLike], axis: int,
+                  operands=()) -> ShapeLike:
+    """Shape of concatenating along ``axis`` (non-axis dims must unify)."""
+    if not shapes:
+        _fail("concatenate", "needs at least one input", operands)
+    ndim = len(shapes[0])
+    if any(len(s) != ndim for s in shapes):
+        _fail("concatenate",
+              "rank mismatch: " + " vs ".join(fmt_shape(s) for s in shapes),
+              operands)
+    axis = _normalize_axis(axis, ndim, "concatenate", operands)
+    out = list(shapes[0])
+    for shape in shapes[1:]:
+        for i in range(ndim):
+            if i == axis:
+                out[i] = add_dims(out[i], shape[i])
+            elif not dims_equal(out[i], shape[i]):
+                _fail("concatenate",
+                      f"dim {i} mismatch off the concat axis: "
+                      + " vs ".join(fmt_shape(s) for s in shapes), operands)
+    return tuple(out)
+
+
+def stack_shapes(shapes: Sequence[ShapeLike], axis: int,
+                 operands=()) -> ShapeLike:
+    """Shape of stacking equal shapes along a new axis."""
+    if not shapes:
+        _fail("stack", "needs at least one input", operands)
+    first = shapes[0]
+    for shape in shapes[1:]:
+        if len(shape) != len(first) or not all(
+                dims_equal(x, y) for x, y in zip(first, shape)):
+            _fail("stack",
+                  "all inputs must share a shape: "
+                  + " vs ".join(fmt_shape(s) for s in shapes), operands)
+    ndim = len(first) + 1
+    axis = _normalize_axis(axis, ndim, "stack", operands)
+    out = list(first)
+    out.insert(axis, len(shapes))
+    return tuple(out)
+
+
+def _normalize_axis(axis: int, ndim: int, op: str, operands=()) -> int:
+    if not isinstance(axis, (int, np.integer)):
+        _fail(op, f"axis must be an int, got {axis!r}", operands)
+    if axis < 0:
+        axis += ndim
+    if not 0 <= axis < max(ndim, 1):
+        _fail(op, f"axis {axis} out of range for rank {ndim}", operands)
+    return int(axis)
+
+
+def _shape_factors(shape: Sequence[DimLike]):
+    """Split a shape into (sorted symbolic factor names, int product)."""
+    syms: list = []
+    product = 1
+    for dim in shape:
+        if isinstance(dim, Dim):
+            syms.append(dim.name)
+        else:
+            product *= int(dim)
+    return sorted(syms), product
+
+
+def reshape_shape(old: ShapeLike, new, operands=()) -> ShapeLike:
+    """Shape of ``reshape(new)``; supports ``-1`` and symbolic factors.
+
+    Symbolic dims must appear verbatim on both sides (a symbolic dim
+    cannot be split or merged with ints other than 1); ``-1`` absorbs
+    whatever remains.
+    """
+    new = tuple(new)
+    negatives = [i for i, d in enumerate(new) if isinstance(d, int) and d == -1]
+    if len(negatives) > 1:
+        _fail("reshape", "at most one -1 allowed", operands)
+    known = [d for d in new if not (isinstance(d, int) and d == -1)]
+    old_syms, old_int = _shape_factors(old)
+    new_syms, new_int = _shape_factors(known)
+    leftover = list(old_syms)
+    for name in new_syms:
+        if name in leftover:
+            leftover.remove(name)
+        else:
+            _fail("reshape",
+                  f"symbolic dim {name} not available: "
+                  f"{fmt_shape(old)} -> {fmt_shape(new)}", operands)
+    if not negatives:
+        if leftover or old_int != new_int:
+            _fail("reshape",
+                  f"element count mismatch: {fmt_shape(old)} -> "
+                  f"{fmt_shape(new)}", operands)
+        return _normalize_shape(new)
+    if new_int == 0 or (not leftover and old_int % new_int != 0):
+        _fail("reshape",
+              f"element count mismatch: {fmt_shape(old)} -> "
+              f"{fmt_shape(new)}", operands)
+    if not leftover:
+        fill: DimLike = old_int // new_int
+    elif len(leftover) == 1 and old_int == new_int:
+        fill = Dim(leftover[0])
+    else:
+        ratio = "" if old_int == new_int else f"*{old_int}//{new_int}"
+        fill = Dim("*".join(leftover) + ratio)
+    out = list(known)
+    out.insert(negatives[0], fill)
+    return _normalize_shape(out)
+
+
+def _slice_dim(dim: DimLike, sl: slice, operands=()) -> DimLike:
+    for bound in (sl.start, sl.stop, sl.step):
+        if bound is not None and not isinstance(bound, (int, np.integer)):
+            _fail("getitem", f"non-integer slice bound {bound!r}", operands)
+    if sl.start is None and sl.stop is None and sl.step is None:
+        return dim
+    if isinstance(dim, int):
+        return len(range(*sl.indices(dim)))
+    start = "" if sl.start is None else sl.start
+    stop = "" if sl.stop is None else sl.stop
+    return Dim(f"{dim}[{start}:{stop}]")
+
+
+# ----------------------------------------------------------------------
+# The abstract tensor
+# ----------------------------------------------------------------------
+_ADV = object()  # marker for an advanced-index position in __getitem__
+
+_FRESH_COUNTER = [0]
+
+
+class SymTensor:
+    """A shape/dtype/provenance triple standing in for a real tensor.
+
+    Constructed either directly (``SymTensor((Dim("B"), 64))``) or by the
+    op rules below.  ``__array_ufunc__ = None`` forces numpy to use the
+    reflected operators, so mixed ``ndarray <op> SymTensor`` expressions
+    inside the real engine stay symbolic.
+    """
+
+    __slots__ = ("shape", "dtype", "op", "frames", "parents", "name",
+                 "requires_grad", "grad", "_backward", "_parents")
+
+    __array_ufunc__ = None
+
+    def __init__(self, shape, dtype: str = FLOAT64, op: str = "input",
+                 parents=(), name: str = "", frames=None) -> None:
+        self.shape = _normalize_shape(shape)
+        if dtype not in _DTYPE_ORDER:
+            raise TypeError(f"unknown abstract dtype {dtype!r}")
+        self.dtype = dtype
+        self.op = op
+        self.frames = frames if frames is not None else capture_frames()
+        self.parents = tuple(parents)
+        self.name = name
+        # Compatibility surface for Tensor._make, which may tag results
+        # with graph metadata while tracing; values are ignored.
+        self.requires_grad = False
+        self.grad = None  # graphlint: disable=REP003
+        self._backward = None
+        self._parents = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self):
+        if any(isinstance(d, Dim) for d in self.shape):
+            _fail(self.op, "size of a tensor with symbolic dims is unknown",
+                  (self,))
+        return int(np.prod([int(d) for d in self.shape], dtype=np.int64)) \
+            if self.shape else 1
+
+    @property
+    def data(self) -> "SymTensor":
+        return self
+
+    @property
+    def T(self) -> "SymTensor":
+        return self.transpose()
+
+    def numpy(self):
+        """Symbolic tensors carry no values; always raises."""
+        _fail(self.op, "a symbolic tensor has no concrete values "
+                       "(.numpy() called while shape-tracing)", (self,))
+
+    def item(self):
+        """Symbolic tensors carry no values; always raises."""
+        _fail(self.op, "a symbolic tensor has no concrete values "
+                       "(.item() called while shape-tracing)", (self,))
+
+    def __len__(self) -> int:
+        if not self.shape:
+            _fail(self.op, "len() of a 0-d symbolic tensor", (self,))
+        if isinstance(self.shape[0], Dim):
+            _fail(self.op, f"len() of symbolic leading dim {self.shape[0]}",
+                  (self,))
+        return int(self.shape[0])
+
+    def __repr__(self) -> str:
+        return f"SymTensor(shape={fmt_shape(self.shape)}, dtype={self.dtype})"
+
+    def __array_function__(self, func, types, args, kwargs):
+        if func in (np.ones_like, np.zeros_like, np.empty_like):
+            return SymTensor(self.shape, FLOAT64, op=func.__name__,
+                             parents=(self,))
+        if func is np.shape:
+            return self.shape
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic (broadcasting + dtype promotion)
+    # ------------------------------------------------------------------
+    def _binary(self, other, op: str, result_dtype: Optional[str] = None
+                ) -> "SymTensor":
+        other_s = as_symbolic(other)
+        shape = broadcast_shapes(self.shape, other_s.shape, op=op,
+                                 operands=(self, other_s))
+        dtype = result_dtype or promote(self.dtype, other_s.dtype)
+        return SymTensor(shape, dtype, op=op, parents=(self, other_s))
+
+    def __add__(self, other):
+        return self._binary(other, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary(other, "sub")
+
+    def __rsub__(self, other):
+        return self._binary(other, "sub")
+
+    def __mul__(self, other):
+        return self._binary(other, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binary(other, "div", result_dtype=self._float_result(
+            as_symbolic(other)))
+
+    def __rtruediv__(self, other):
+        return self._binary(other, "div", result_dtype=self._float_result(
+            as_symbolic(other)))
+
+    def _float_result(self, other: "SymTensor") -> str:
+        promoted = promote(self.dtype, other.dtype)
+        return promoted if promoted in _FLOATS else FLOAT64
+
+    def __neg__(self):
+        return SymTensor(self.shape, self.dtype, op="neg", parents=(self,))
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float, np.integer, np.floating)):
+            _fail("pow", f"exponent must be a scalar, got {exponent!r}",
+                  (self,))
+        return SymTensor(self.shape, FLOAT64, op="pow", parents=(self,))
+
+    def __matmul__(self, other):
+        other_s = as_symbolic(other)
+        for operand in (self, other_s):
+            if operand.dtype == BOOL:
+                _fail("matmul", "matmul over bool values", (self, other_s))
+        shape = matmul_shape(self.shape, other_s.shape,
+                             operands=(self, other_s))
+        return SymTensor(shape, promote(self.dtype, other_s.dtype),
+                         op="matmul", parents=(self, other_s))
+
+    def __rmatmul__(self, other):
+        return as_symbolic(other).__matmul__(self)
+
+    # Comparisons mirror Tensor's (non-differentiable, value-level) ones.
+    def __gt__(self, other):
+        return self._binary(other, "gt", result_dtype=BOOL)
+
+    def __lt__(self, other):
+        return self._binary(other, "lt", result_dtype=BOOL)
+
+    def __ge__(self, other):
+        return self._binary(other, "ge", result_dtype=BOOL)
+
+    def __le__(self, other):
+        return self._binary(other, "le", result_dtype=BOOL)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "SymTensor":
+        """Abstract mirror of :meth:`Tensor.reshape` (supports ``-1``)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        new = reshape_shape(self.shape, shape, operands=(self,))
+        return SymTensor(new, self.dtype, op="reshape", parents=(self,))
+
+    def transpose(self, *axes) -> "SymTensor":
+        """Abstract mirror of :meth:`Tensor.transpose` (permutes axes)."""
+        axes_t = tuple(axes) if axes else tuple(range(self.ndim))[::-1]
+        if sorted(axes_t) != list(range(self.ndim)):
+            _fail("transpose",
+                  f"axes {axes_t} are not a permutation of rank {self.ndim}",
+                  (self,))
+        return SymTensor(tuple(self.shape[a] for a in axes_t), self.dtype,
+                         op="transpose", parents=(self,))
+
+    def astype(self, dtype) -> "SymTensor":
+        """Abstract dtype cast (mirrors ``ndarray.astype``)."""
+        return SymTensor(self.shape, dtype_of_array(np.empty(0, dtype=dtype)),
+                         op="astype", parents=(self,))
+
+    def __getitem__(self, idx) -> "SymTensor":
+        items = idx if isinstance(idx, tuple) else (idx,)
+        out: list = []
+        adv_shapes: list = []
+        adv_positions: list = []
+        axis = 0
+        for item in items:
+            if item is None:
+                out.append(1)
+                continue
+            if axis >= self.ndim:
+                _fail("getitem",
+                      f"too many indices for shape {fmt_shape(self.shape)}",
+                      (self,))
+            dim = self.shape[axis]
+            if isinstance(item, slice):
+                out.append(_slice_dim(dim, item, (self,)))
+            elif isinstance(item, (int, np.integer)):
+                value = int(item)
+                if isinstance(dim, int) and not -dim <= value < dim:
+                    _fail("getitem",
+                          f"index {value} out of bounds for dim {dim} "
+                          f"of {fmt_shape(self.shape)}", (self,))
+            elif isinstance(item, SymTensor):
+                if item.dtype != INT64:
+                    _fail("getitem",
+                          f"tensor index must be integer, got {item.dtype}",
+                          (self, item))
+                adv_shapes.append(item.shape)
+                adv_positions.append(len(out))
+                out.append(_ADV)
+            elif isinstance(item, (np.ndarray, list)):
+                arr = np.asarray(item)
+                if arr.dtype.kind == "b":
+                    if arr.ndim != 1:
+                        _fail("getitem", "only 1-D bool masks are supported",
+                              (self,))
+                    _FRESH_COUNTER[0] += 1
+                    adv_shapes.append((Dim(f"nz{_FRESH_COUNTER[0]}"),))
+                    adv_positions.append(len(out))
+                    out.append(_ADV)
+                elif arr.dtype.kind in "iu":
+                    if (isinstance(dim, int) and arr.size
+                            and (int(arr.max()) >= dim
+                                 or int(arr.min()) < -dim)):
+                        _fail("getitem",
+                              f"index {int(arr.max())} out of bounds for "
+                              f"dim {dim} of {fmt_shape(self.shape)}",
+                              (self,))
+                    adv_shapes.append(arr.shape)
+                    adv_positions.append(len(out))
+                    out.append(_ADV)
+                else:
+                    _fail("getitem",
+                          f"non-integer array index dtype {arr.dtype}",
+                          (self,))
+            else:
+                _fail("getitem", f"unsupported index {item!r}", (self,))
+            axis += 1
+        out.extend(self.shape[axis:])
+        if not adv_shapes:
+            return SymTensor(tuple(out), self.dtype, op="getitem",
+                             parents=(self,))
+        broadcast = adv_shapes[0]
+        for shape in adv_shapes[1:]:
+            broadcast = broadcast_shapes(broadcast, shape, op="getitem",
+                                         operands=(self,))
+        contiguous = all(b - a == 1 for a, b in zip(adv_positions,
+                                                    adv_positions[1:]))
+        rest = [d for d in out if d is not _ADV]
+        if contiguous:
+            before = sum(1 for d in out[:adv_positions[0]] if d is not _ADV)
+            shape = tuple(rest[:before]) + tuple(broadcast) \
+                + tuple(rest[before:])
+        else:
+            # Numpy moves the broadcast result to the front when advanced
+            # indices are separated by basic ones.
+            shape = tuple(broadcast) + tuple(rest)
+        return SymTensor(shape, self.dtype, op="getitem", parents=(self,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _reduce(self, op: str, axis, keepdims: bool,
+                dtype: Optional[str] = None) -> "SymTensor":
+        if axis is None:
+            shape: ShapeLike = tuple(1 for _ in self.shape) if keepdims else ()
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(_normalize_axis(a, self.ndim, op, (self,))
+                         for a in axes)
+            shape = tuple(
+                (1 if keepdims else None) if i in axes else d
+                for i, d in enumerate(self.shape))
+            shape = tuple(d for d in shape if d is not None)
+        return SymTensor(shape, dtype or self.dtype, op=op, parents=(self,))
+
+    def sum(self, axis=None, keepdims: bool = False) -> "SymTensor":
+        """Abstract mirror of :meth:`Tensor.sum`."""
+        dtype = INT64 if self.dtype == BOOL else self.dtype
+        return self._reduce("sum", axis, keepdims, dtype)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "SymTensor":
+        """Abstract mirror of :meth:`Tensor.mean` (always float)."""
+        dtype = self.dtype if self.dtype in _FLOATS else FLOAT64
+        return self._reduce("mean", axis, keepdims, dtype)
+
+    def max(self, axis=None, keepdims: bool = False) -> "SymTensor":
+        """Abstract mirror of :meth:`Tensor.max`."""
+        return self._reduce("max", axis, keepdims)
+
+
+def as_symbolic(value) -> SymTensor:
+    """Coerce a value (SymTensor / Tensor / ndarray / scalar) to symbolic."""
+    if isinstance(value, SymTensor):
+        return value
+    data = getattr(value, "data", None)
+    if isinstance(data, SymTensor):
+        return data
+    if isinstance(data, np.ndarray):  # a real Tensor
+        return SymTensor(data.shape, dtype_of_array(data), op="const",
+                         name=getattr(value, "name", ""))
+    if isinstance(value, np.ndarray):
+        return SymTensor(value.shape, dtype_of_array(value), op="const")
+    if isinstance(value, (bool, np.bool_)):
+        return SymTensor((), BOOL, op="const")
+    if isinstance(value, (int, np.integer)):
+        return SymTensor((), INT64, op="const")
+    if isinstance(value, (float, np.floating)):
+        return SymTensor((), FLOAT64, op="const")
+    if isinstance(value, (list, tuple)):
+        arr = np.asarray(value)
+        return SymTensor(arr.shape, dtype_of_array(arr), op="const")
+    raise TypeError(f"cannot interpret {type(value).__name__} symbolically")
+
+
+def sym_input(shape, dtype: str = FLOAT64, name: str = "") -> SymTensor:
+    """Convenience constructor for driver inputs (``B``/``T`` symbols ok)."""
+    shape = tuple(Dim(d) if isinstance(d, str) else d for d in shape)
+    return SymTensor(shape, dtype, op="input", name=name)

@@ -1,0 +1,280 @@
+"""Symbolic tracing: run real ``repro.nn`` code on :class:`SymTensor` values.
+
+:func:`symbolic_trace` is a context manager that temporarily swaps the
+functional ops (``repro.nn.functional``), the graph constructors
+(``concatenate``/``stack``), :class:`~repro.nn.layers.Embedding` lookup
+and the recurrent ``initial_state`` factories for *abstract* versions
+that compute only shapes and dtypes.  ``Tensor.__new__`` is also patched
+so that ``Tensor(sym)`` passes the symbolic value straight through —
+combined with ``SymTensor.data`` returning itself and
+``__array_ufunc__ = None``, the real ``Tensor`` operator overloads then
+propagate symbolic operands without any per-operator patching.
+
+The patcher replaces every module attribute across loaded ``repro.*``
+modules that is *identical* to an original (covering both
+``F.log_softmax`` style access and ``from .tensor import concatenate``
+direct-name imports) and restores everything on exit, even on error.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .symbolic import (FLOAT64, INT64, SymTensor, as_symbolic,
+                       broadcast_shapes, concat_shapes, dims_equal,
+                       promote, stack_shapes, _fail, _FLOATS,
+                       _normalize_axis)
+
+#: Every op name a traced forward pass can record on a SymTensor.  The
+#: gradcheck parity test (``tests/devtools/test_gradcheck.py``) asserts
+#: each differentiable entry here has numeric-gradient coverage.
+SYMBOLIC_OP_NAMES = frozenset({
+    "exp", "log", "sqrt", "relu", "sigmoid", "tanh", "softmax",
+    "log_softmax", "logsigmoid", "leaky_relu", "clip", "minimum",
+    "dropout", "spmm", "binary_cross_entropy_with_logits", "mse_loss",
+    "concatenate", "stack", "add", "sub", "mul", "div", "pow", "neg",
+    "matmul", "getitem", "reshape", "transpose", "sum", "mean", "max",
+})
+
+_ACTIVE = [False]
+
+
+def is_tracing() -> bool:
+    """Whether a :func:`symbolic_trace` context is currently active."""
+    return _ACTIVE[0]
+
+
+def _float_dtype(sym: SymTensor) -> str:
+    return sym.dtype if sym.dtype in _FLOATS else FLOAT64
+
+
+# ----------------------------------------------------------------------
+# Abstract op implementations
+# ----------------------------------------------------------------------
+def _unary(name: str) -> Callable:
+    def wrapper(x, *args, **kwargs):
+        sym = as_symbolic(x)
+        return SymTensor(sym.shape, _float_dtype(sym), op=name,
+                         parents=(sym,))
+    wrapper.__name__ = name
+    return wrapper
+
+
+def _axis_softmax(name: str) -> Callable:
+    def wrapper(x, axis: int = -1):
+        sym = as_symbolic(x)
+        _normalize_axis(axis, max(sym.ndim, 1), name, (sym,))
+        if sym.ndim == 0:
+            _fail(name, "requires at least a 1-D input", (sym,))
+        return SymTensor(sym.shape, _float_dtype(sym), op=name,
+                         parents=(sym,))
+    wrapper.__name__ = name
+    return wrapper
+
+
+def _sym_clip(x, low, high):
+    sym = as_symbolic(x)
+    return SymTensor(sym.shape, _float_dtype(sym), op="clip", parents=(sym,))
+
+
+def _sym_minimum(a, b):
+    sa, sb = as_symbolic(a), as_symbolic(b)
+    shape = broadcast_shapes(sa.shape, sb.shape, op="minimum",
+                             operands=(sa, sb))
+    return SymTensor(shape, promote(_float_dtype(sa), _float_dtype(sb)),
+                     op="minimum", parents=(sa, sb))
+
+
+def _sym_leaky_relu(x, slope: float = 0.2):
+    sym = as_symbolic(x)
+    return SymTensor(sym.shape, _float_dtype(sym), op="leaky_relu",
+                     parents=(sym,))
+
+
+def _sym_dropout(x, rate, rng, training: bool = True):
+    sym = as_symbolic(x)
+    return SymTensor(sym.shape, _float_dtype(sym), op="dropout",
+                     parents=(sym,))
+
+
+def _sym_spmm(sparse_matrix, x):
+    sym = as_symbolic(x)
+    rows, inner = sparse_matrix.shape
+    if sym.ndim != 2:
+        _fail("spmm", f"dense operand must be 2-D, got "
+                      f"rank {sym.ndim}", (sym,))
+    if not dims_equal(inner, sym.shape[0]):
+        _fail("spmm", f"sparse ({rows}, {inner}) @ dense "
+                      f"{sym.shape} inner dims differ", (sym,))
+    return SymTensor((rows, sym.shape[1]), _float_dtype(sym), op="spmm",
+                     parents=(sym,))
+
+
+def _sym_bce(logits, targets):
+    sym = as_symbolic(logits)
+    tgt = as_symbolic(targets)
+    broadcast_shapes(sym.shape, tgt.shape,
+                     op="binary_cross_entropy_with_logits",
+                     operands=(sym, tgt))
+    return SymTensor((), FLOAT64, op="binary_cross_entropy_with_logits",
+                     parents=(sym,))
+
+
+def _sym_mse(pred, target, weight=None):
+    sym = as_symbolic(pred)
+    tgt = as_symbolic(target)
+    broadcast_shapes(sym.shape, tgt.shape, op="mse_loss",
+                     operands=(sym, tgt))
+    if weight is not None:
+        broadcast_shapes(sym.shape, as_symbolic(weight).shape,
+                         op="mse_loss", operands=(sym,))
+    return SymTensor((), FLOAT64, op="mse_loss", parents=(sym,))
+
+
+def _sym_concatenate(tensors, axis: int = 0):
+    syms = [as_symbolic(t) for t in tensors]
+    shape = concat_shapes([s.shape for s in syms], axis, operands=syms)
+    dtype = syms[0].dtype
+    for sym in syms[1:]:
+        dtype = promote(dtype, sym.dtype)
+    return SymTensor(shape, dtype, op="concatenate", parents=tuple(syms))
+
+
+def _sym_stack(tensors, axis: int = 0):
+    syms = [as_symbolic(t) for t in tensors]
+    shape = stack_shapes([s.shape for s in syms], axis, operands=syms)
+    dtype = syms[0].dtype
+    for sym in syms[1:]:
+        dtype = promote(dtype, sym.dtype)
+    return SymTensor(shape, dtype, op="stack", parents=tuple(syms))
+
+
+# ----------------------------------------------------------------------
+# Class-level patches
+# ----------------------------------------------------------------------
+def _sym_embedding_call(self, ids):
+    """Abstract Embedding lookup: ids stay symbolic, bounds are checked."""
+    if isinstance(ids, SymTensor):
+        if ids.dtype != INT64:
+            _fail("embedding",
+                  f"ids must be integer, got {ids.dtype}", (ids,))
+        ids_shape = ids.shape
+        parents: tuple = (ids,)
+    else:
+        arr = np.asarray(ids, dtype=np.int64)
+        if arr.size and (int(arr.max()) >= self.num_embeddings
+                         or int(arr.min()) < 0):
+            _fail("embedding",
+                  f"id {int(arr.max())} out of range for table of "
+                  f"{self.num_embeddings} rows", ())
+        ids_shape = arr.shape
+        parents = ()
+    return SymTensor(tuple(ids_shape) + (self.dim,), FLOAT64,
+                     op="embedding", parents=parents)
+
+
+def _sym_lstm_initial_state(self, batch):
+    """Abstract zero ``(h, c)`` state supporting a symbolic batch dim."""
+    h = SymTensor((batch, self.hidden_dim), FLOAT64, op="initial_state")
+    c = SymTensor((batch, self.hidden_dim), FLOAT64, op="initial_state")
+    return h, c
+
+
+def _sym_gru_initial_state(self, batch):
+    """Abstract zero hidden state supporting a symbolic batch dim."""
+    return SymTensor((batch, self.hidden_dim), FLOAT64, op="initial_state")
+
+
+def _tensor_new(cls, data=None, requires_grad: bool = False, name: str = ""):
+    if _ACTIVE[0] and isinstance(data, SymTensor):
+        return data
+    return object.__new__(cls)
+
+
+# ----------------------------------------------------------------------
+# The patcher
+# ----------------------------------------------------------------------
+def _build_replacements() -> Dict[int, Tuple[object, object]]:
+    from ...nn import functional as F
+    from ...nn import tensor as tensor_mod
+
+    table = {
+        F.exp: _unary("exp"),
+        F.log: _unary("log"),
+        F.sqrt: _unary("sqrt"),
+        F.relu: _unary("relu"),
+        F.sigmoid: _unary("sigmoid"),
+        F.tanh: _unary("tanh"),
+        F.softmax: _axis_softmax("softmax"),
+        F.log_softmax: _axis_softmax("log_softmax"),
+        F.logsigmoid: _unary("logsigmoid"),
+        F.clip: _sym_clip,
+        F.minimum: _sym_minimum,
+        F.leaky_relu: _sym_leaky_relu,
+        F.dropout: _sym_dropout,
+        F.spmm: _sym_spmm,
+        F.binary_cross_entropy_with_logits: _sym_bce,
+        F.mse_loss: _sym_mse,
+        tensor_mod.concatenate: _sym_concatenate,
+        tensor_mod.stack: _sym_stack,
+    }
+    return {id(original): (original, replacement)
+            for original, replacement in table.items()}
+
+
+def _patch_modules(replacements) -> List[Tuple[object, str, object]]:
+    records = []
+    for name, module in list(sys.modules.items()):
+        if module is None:
+            continue
+        if not (name == "repro" or name.startswith("repro.")):
+            continue
+        for attr, value in list(vars(module).items()):
+            hit = replacements.get(id(value))
+            if hit is not None and value is hit[0]:
+                setattr(module, attr, hit[1])
+                records.append((module, attr, hit[0]))
+    return records
+
+
+@contextlib.contextmanager
+def symbolic_trace() -> Iterator[None]:
+    """Patch the nn stack for abstract execution; restores on exit.
+
+    Non-reentrant by design: a nested trace would record restore targets
+    that are themselves wrappers.
+    """
+    if _ACTIVE[0]:
+        raise RuntimeError("symbolic_trace is not reentrant")
+    from ...nn.layers import Embedding
+    from ...nn.lstm import GRUCell, LSTMCell
+    from ...nn.tensor import Tensor
+
+    module_records = _patch_modules(_build_replacements())
+    class_records = [
+        (Embedding, "__call__", Embedding.__call__),
+        (LSTMCell, "initial_state", LSTMCell.initial_state),
+        (GRUCell, "initial_state", GRUCell.initial_state),
+    ]
+    Embedding.__call__ = _sym_embedding_call
+    LSTMCell.initial_state = _sym_lstm_initial_state
+    GRUCell.initial_state = _sym_gru_initial_state
+    # Installed once and left in place: removing a __new__ assigned after
+    # class creation leaves CPython's slot dispatcher behind, breaking
+    # default construction.  The wrapper is inert unless a trace is
+    # active, when it passes SymTensor "data" straight through.
+    if Tensor.__new__ is object.__new__:
+        Tensor.__new__ = staticmethod(_tensor_new)
+    _ACTIVE[0] = True
+    try:
+        yield
+    finally:
+        _ACTIVE[0] = False
+        for cls, attr, original in class_records:
+            setattr(cls, attr, original)
+        for module, attr, original in module_records:
+            setattr(module, attr, original)

@@ -6,6 +6,7 @@ from .init import normal, xavier_uniform, zeros
 from .layers import MLP, Dense, Embedding, Module
 from .lstm import GRU, GRUCell, LSTM, LSTMCell
 from .optim import SGD, Adam, Optimizer
+from .spec import get_shape_spec, shape_spec
 from .tensor import Tensor, as_tensor, concatenate, stack, unbroadcast
 
 __all__ = [
@@ -15,4 +16,5 @@ __all__ = [
     "Optimizer", "SGD", "Adam",
     "xavier_uniform", "normal", "zeros",
     "AnomalyError", "GraphError", "detect_anomaly", "validate_graph",
+    "shape_spec", "get_shape_spec",
 ]

@@ -14,6 +14,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .spec import shape_spec
 from .tensor import Tensor
 
 
@@ -66,6 +67,8 @@ class Dense(Module):
     def __init__(self, in_dim: int, out_dim: int,
                  rng: np.random.Generator, activation: str = "linear",
                  bias: bool = True) -> None:
+        self.in_dim = in_dim
+        self.out_dim = out_dim
         self.weight = Tensor(init.xavier_uniform(rng, in_dim, out_dim),
                              requires_grad=True, name="dense.weight")
         self.bias = (Tensor(init.zeros((out_dim,)), requires_grad=True,
@@ -74,6 +77,7 @@ class Dense(Module):
             raise ValueError(f"unknown activation: {activation!r}")
         self.activation = activation
 
+    @shape_spec("(B, in_dim) -> (B, out_dim)")
     def __call__(self, x: Tensor) -> Tensor:
         out = x @ self.weight
         if self.bias is not None:
@@ -97,6 +101,7 @@ class Embedding(Module):
         self.num_embeddings = num_embeddings
         self.dim = dim
 
+    @shape_spec("(B,) -> (B, dim)")
     def __call__(self, ids) -> Tensor:
         ids = np.asarray(ids, dtype=np.int64)
         return self.weight[ids]
@@ -114,6 +119,8 @@ class MLP(Module):
                  out_activation: str = "linear") -> None:
         if len(dims) < 2:
             raise ValueError("MLP needs at least an input and an output dim")
+        self.in_dim = dims[0]
+        self.out_dim = dims[-1]
         self.layers = [
             Dense(dims[i], dims[i + 1], rng,
                   activation=(hidden_activation if i < len(dims) - 2
@@ -121,6 +128,7 @@ class MLP(Module):
             for i in range(len(dims) - 1)
         ]
 
+    @shape_spec("(B, in_dim) -> (B, out_dim)")
     def __call__(self, x: Tensor) -> Tensor:
         for layer in self.layers:
             x = layer(x)

@@ -15,6 +15,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .layers import Module
+from .spec import shape_spec
 from .tensor import Tensor, concatenate
 
 
@@ -43,6 +44,8 @@ class LSTMCell(Module):
         c = Tensor(np.zeros((batch, self.hidden_dim)))
         return h, c
 
+    @shape_spec("(B, input_dim), ((B, hidden_dim), (B, hidden_dim)) -> "
+                "((B, hidden_dim), (B, hidden_dim))")
     def __call__(self, x: Tensor, state: Tuple[Tensor, Tensor]
                  ) -> Tuple[Tensor, Tensor]:
         h_prev, c_prev = state
@@ -65,6 +68,8 @@ class LSTM(Module):
                  rng: np.random.Generator) -> None:
         self.cell = LSTMCell(input_dim, hidden_dim, rng)
 
+    @shape_spec("[(B, cell.input_dim)], _ -> ([(B, cell.hidden_dim)], "
+                "((B, cell.hidden_dim), (B, cell.hidden_dim)))")
     def __call__(self, inputs: Sequence[Tensor],
                  state: Optional[Tuple[Tensor, Tensor]] = None
                  ) -> Tuple[list, Tuple[Tensor, Tensor]]:
@@ -107,6 +112,7 @@ class GRUCell(Module):
         """Zero hidden state for a batch."""
         return Tensor(np.zeros((batch, self.hidden_dim)))
 
+    @shape_spec("(B, input_dim), (B, hidden_dim) -> (B, hidden_dim)")
     def __call__(self, x: Tensor, h_prev: Tensor) -> Tensor:
         H = self.hidden_dim
         combined = concatenate([x, h_prev], axis=1)
@@ -125,6 +131,8 @@ class GRU(Module):
                  rng: np.random.Generator) -> None:
         self.cell = GRUCell(input_dim, hidden_dim, rng)
 
+    @shape_spec("[(B, cell.input_dim)], _ -> ([(B, cell.hidden_dim)], "
+                "(B, cell.hidden_dim))")
     def __call__(self, inputs: Sequence[Tensor],
                  state: Optional[Tensor] = None) -> Tuple[list, Tensor]:
         """Run over ``inputs``; returns per-step hidden states and the last."""

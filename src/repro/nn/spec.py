@@ -1,0 +1,53 @@
+"""Shape contracts: declare the symbolic signature of a forward pass.
+
+A *shape spec* is a one-line string attached to a callable, e.g.::
+
+    @shape_spec("(B, in_dim) -> (B, out_dim)")
+    def __call__(self, x): ...
+
+The left side lists one term per positional argument (``self`` excluded),
+the right side describes the return value.  Terms are
+
+* ``(B, T)``            — a tensor shape; names bind dims, ints are exact
+* ``((B, H), (B, H))``  — a tuple of shapes (e.g. an LSTM ``(h, c)`` state)
+* ``[(B, D)]``          — a list/tuple of tensors, each matching the shape
+* ``_``                 — a wildcard argument (not shape-checked)
+
+Dim names unify across the whole spec: the first occurrence binds, later
+occurrences must match.  A dotted name (``action_space.max_decisions``) or
+a plain name that resolves to an ``int`` attribute on the bound instance
+(``in_dim``, ``hidden_dim``) is treated as that constant.
+
+This module is deliberately dependency-free (no numpy import): the
+decorator only *attaches* the string.  Parsing and verification live in
+:mod:`repro.devtools.shapecheck.contracts`, so production forward passes
+pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+SPEC_ATTRIBUTE = "__shape_spec__"
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def shape_spec(spec: str) -> Callable[[_F], _F]:
+    """Attach a shape contract string to a function (zero runtime cost)."""
+    if "->" not in spec:
+        raise ValueError(f"shape spec needs an '->': {spec!r}")
+
+    def decorate(fn: _F) -> _F:
+        setattr(fn, SPEC_ATTRIBUTE, spec)
+        return fn
+
+    return decorate
+
+
+def get_shape_spec(fn: Callable) -> str | None:
+    """The spec attached to ``fn`` (or ``None``); follows ``__func__``."""
+    spec = getattr(fn, SPEC_ATTRIBUTE, None)
+    if spec is None and hasattr(fn, "__func__"):
+        spec = getattr(fn.__func__, SPEC_ATTRIBUTE, None)
+    return spec

@@ -18,7 +18,7 @@ from typing import Any, Dict, Set
 import numpy as np
 
 from ..data.interactions import InteractionLog
-from ..nn import Adam, Dense, Module, Tensor
+from ..nn import Adam, Dense, Module, Tensor, shape_spec
 from ..nn import functional as F
 from .base import Ranker
 
@@ -29,6 +29,7 @@ class _AutoRecNet(Module):
         self.encoder = Dense(num_items, hidden, rng, activation="sigmoid")
         self.decoder = Dense(hidden, num_items, rng)
 
+    @shape_spec("(B, N) -> (B, N)")
     def __call__(self, rows: Tensor) -> Tensor:
         return self.decoder(self.encoder(rows))
 
@@ -114,10 +115,12 @@ class AutoRec(Ranker):
         """Decoder output rows for ``users`` (score source)."""
         return self.net(Tensor(self._rows(users))).numpy()
 
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         recon = self._reconstruct(np.array([user]))[0]
         return recon[np.asarray(item_ids, dtype=np.int64)]
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         recon = self._reconstruct(np.asarray(users, dtype=np.int64))

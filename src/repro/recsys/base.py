@@ -16,6 +16,7 @@ from typing import Any, ClassVar, Optional
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..nn.spec import shape_spec
 
 
 class Ranker(abc.ABC):
@@ -65,10 +66,12 @@ class Ranker(abc.ABC):
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     @abc.abstractmethod
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         """Preference scores for ``user`` over ``item_ids`` (higher=better)."""
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         """Scores for many users at once.

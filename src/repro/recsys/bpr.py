@@ -12,6 +12,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..nn.spec import shape_spec
 from .base import Ranker, sample_negatives
 from .pmf import _apply_accumulated
 
@@ -83,10 +84,12 @@ class BPR(Ranker):
             self._sgd_epochs(pairs[:, 0], pairs[:, 1], self.update_epochs)
 
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         return self.item_factors[item_ids] @ self.user_factors[user]
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         pu = self.user_factors[users]

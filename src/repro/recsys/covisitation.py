@@ -15,6 +15,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..nn.spec import shape_spec
 from .base import Ranker
 
 
@@ -59,6 +60,7 @@ class CoVisitation(Ranker):
         self._add_edges(poison)
 
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         history = self._histories.get(user, [])[-self.history_window:]

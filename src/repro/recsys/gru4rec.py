@@ -14,7 +14,7 @@ from typing import Any, List
 import numpy as np
 
 from ..data.interactions import InteractionLog
-from ..nn import Adam, Embedding, GRUCell, Module, Tensor
+from ..nn import Adam, Embedding, GRUCell, Module, Tensor, shape_spec
 from ..nn import functional as F
 from .base import Ranker
 
@@ -27,6 +27,7 @@ class _GRU4RecNet(Module):
         self.cell = GRUCell(dim, dim, rng)
         self.pad_id = num_items
 
+    @shape_spec("(B, W) -> (B, cell.hidden_dim)")
     def encode(self, windows: np.ndarray) -> Tensor:
         """Hidden state after running the GRU over ``(batch, W)`` windows."""
         batch, width = windows.shape
@@ -36,6 +37,7 @@ class _GRU4RecNet(Module):
             h = self.cell(x, h)
         return h
 
+    @shape_spec("(B, cell.hidden_dim) -> (B, N)")
     def all_item_logits(self, hidden: Tensor) -> Tensor:
         # Exclude the padding row from the softmax.
         item_table = self.embedding.weight[
@@ -141,10 +143,12 @@ class GRU4Rec(Ranker):
         self._train(windows, targets, epochs=self.update_epochs)
 
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         return self.score_batch(np.array([user]),
                                 np.asarray(item_ids)[None, :])[0]
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         windows = np.stack([

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..nn.spec import shape_spec
 from .base import Ranker
 
 
@@ -30,9 +31,11 @@ class ItemPop(Ranker):
         # Popularity is additive, so the update is just the poison counts.
         self.counts = self.counts + poison.item_counts()
 
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         return self.counts[np.asarray(item_ids, dtype=np.int64)]
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         return self.counts[candidates]

@@ -13,7 +13,8 @@ from typing import Any
 import numpy as np
 
 from ..data.interactions import InteractionLog
-from ..nn import Adam, Dense, Embedding, MLP, Module, Tensor, concatenate
+from ..nn import (Adam, Dense, Embedding, MLP, Module, Tensor,
+                  concatenate, shape_spec)
 from ..nn import functional as F
 from .base import Ranker, sample_negatives
 
@@ -28,6 +29,7 @@ class _NeuMFNet(Module):
         self.mlp = MLP([2 * dim, dim, dim // 2], rng)
         self.out = Dense(dim + dim // 2, 1, rng)
 
+    @shape_spec("(B,), (B,) -> (B,)")
     def logits(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         gmf = self.user_gmf(users) * self.item_gmf(items)
         mlp_in = concatenate([self.user_mlp(users), self.item_mlp(items)],
@@ -119,11 +121,13 @@ class NeuMF(Ranker):
         self._train(users, items, labels, epochs=self.update_epochs)
 
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         users = np.full(len(item_ids), user, dtype=np.int64)
         return self.net.logits(users, item_ids).numpy()
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         n, c = candidates.shape

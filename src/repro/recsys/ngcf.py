@@ -18,7 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..data.interactions import InteractionLog
-from ..nn import Adam, Module, Tensor, concatenate
+from ..nn import Adam, Module, Tensor, concatenate, shape_spec
 from ..nn import functional as F
 from ..nn.init import xavier_uniform
 from .base import Ranker, sample_negatives
@@ -37,6 +37,7 @@ class _NGCFNet(Module):
                    for layer in range(num_layers)]
         self.num_layers = num_layers
 
+    @shape_spec("_ -> (N, F)")
     def propagate(self, adjacency: sp.csr_matrix) -> Tensor:
         """All-layer concatenated node representations."""
         layers = [self.embedding]
@@ -149,12 +150,14 @@ class NGCF(Ranker):
         self._train(pairs, self.update_epochs)
 
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         if self._final is None:
             self._refresh_final()
         item_ids = np.asarray(item_ids, dtype=np.int64)
         return self._final[item_ids + self.num_users] @ self._final[user]
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         if self._final is None:

@@ -13,6 +13,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..nn.spec import shape_spec
 from .base import Ranker, sample_negatives
 
 
@@ -118,10 +119,12 @@ class PMF(Ranker):
         self._sgd_epochs(users, items, ratings, self.update_epochs)
 
     # ------------------------------------------------------------------
+    @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         return self.item_factors[item_ids] @ self.user_factors[user]
 
+    @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         pu = self.user_factors[users]                      # (n, d)

@@ -2,10 +2,12 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.devtools.gradcheck import (GradcheckError, gradcheck,
                                       gradcheck_param, numeric_gradient)
-from repro.nn import Embedding, Tensor
+from repro.devtools.shapecheck import SYMBOLIC_OP_NAMES
+from repro.nn import Embedding, Tensor, concatenate, stack
 from repro.nn import functional as F
 
 
@@ -71,6 +73,65 @@ class TestGradcheckParam:
         with pytest.raises(GradcheckError, match="'p'"):
             gradcheck_param(loss, x)
         np.testing.assert_allclose(x.data, before)
+
+
+#: Kink-free probe point shared by the parity checks: unique values, none
+#: within finite-difference reach of the relu/clip/minimum/max breakpoints.
+_PARITY_X0 = np.linspace(-1.2, 1.3, 15).reshape(3, 5)
+_PARITY_W = np.linspace(-0.4, 0.7, 10).reshape(5, 2)
+_PARITY_SPARSE = sp.csr_matrix(np.arange(12, dtype=float).reshape(4, 3) * 0.1)
+_PARITY_TARGETS = np.linspace(0.1, 0.9, 15).reshape(3, 5)
+
+#: One numeric gradient check per op the shapecheck tracer models
+#: (``repro.devtools.shapecheck.SYMBOLIC_OP_NAMES``) — the parity test
+#: below fails when a new traced op lands without gradient coverage.
+SYMBOLIC_OP_GRADCHECKS = {
+    "exp": lambda x: F.exp(x),
+    "log": lambda x: F.log(F.exp(x)),
+    "sqrt": lambda x: F.sqrt(F.exp(x)),
+    "relu": lambda x: F.relu(x) * x,
+    "sigmoid": lambda x: F.sigmoid(x),
+    "tanh": lambda x: F.tanh(x),
+    "softmax": lambda x: F.softmax(x) * x,
+    "log_softmax": lambda x: F.log_softmax(x),
+    "logsigmoid": lambda x: F.logsigmoid(x),
+    "leaky_relu": lambda x: F.leaky_relu(x) * x,
+    "clip": lambda x: F.clip(x, -0.5, 0.5) * x,
+    "minimum": lambda x: F.minimum(x, Tensor(np.full((3, 5), 0.1))),
+    # A fresh seeded rng per call keeps the mask identical across the
+    # analytic pass and every finite-difference probe.
+    "dropout": lambda x: F.dropout(x, 0.3, np.random.default_rng(0)),
+    "spmm": lambda x: F.spmm(_PARITY_SPARSE, x),
+    "binary_cross_entropy_with_logits":
+        lambda x: F.binary_cross_entropy_with_logits(x, _PARITY_TARGETS),
+    "mse_loss": lambda x: F.mse_loss(x, _PARITY_TARGETS),
+    "concatenate": lambda x: concatenate([x, x * 2.0], axis=1),
+    "stack": lambda x: stack([x, x * 0.5], axis=0),
+    "add": lambda x: x + 1.5,
+    "sub": lambda x: x - 2.0,
+    "mul": lambda x: x * x,
+    "div": lambda x: x / 2.5,
+    "pow": lambda x: x ** 3.0,
+    "neg": lambda x: -x,
+    "matmul": lambda x: x @ Tensor(_PARITY_W),
+    "getitem": lambda x: x[1:, ::2],
+    "reshape": lambda x: x.reshape(5, 3) * 2.0,
+    "transpose": lambda x: x.transpose(1, 0) * 3.0,
+    "sum": lambda x: x.sum(axis=0),
+    "mean": lambda x: x.mean(),
+    "max": lambda x: x.max(),
+}
+
+
+class TestSymbolicOpParity:
+    """Every op the shapecheck tracer models has gradient coverage."""
+
+    def test_covers_every_symbolic_op(self):
+        assert set(SYMBOLIC_OP_GRADCHECKS) == set(SYMBOLIC_OP_NAMES)
+
+    @pytest.mark.parametrize("name", sorted(SYMBOLIC_OP_GRADCHECKS))
+    def test_gradcheck(self, name):
+        gradcheck(SYMBOLIC_OP_GRADCHECKS[name], _PARITY_X0.copy())
 
 
 class TestBPRLossEndToEnd:

@@ -1,5 +1,6 @@
 """graphlint tests: each REP rule, suppression, CLI, and repo cleanliness."""
 
+import json
 import pathlib
 import textwrap
 
@@ -11,6 +12,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 NN_PATH = "src/repro/nn/layers.py"
 LIB_PATH = "src/repro/core/example.py"
+RUNTIME_PATH = "src/repro/runtime/example.py"
 TEST_PATH = "tests/core/test_example.py"
 
 
@@ -184,6 +186,152 @@ class TestREP006Docstrings:
         assert lint_source("def test_x():\n    pass\n", TEST_PATH) == []
 
 
+class TestREP007CheckpointDeterminism:
+    def test_wall_clock_assignment_into_sink_flagged(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+            import time
+
+            def save(path, arrays):
+                """Doc."""
+                stamp = time.time()
+                atomic_savez(path, {"stamp": stamp, "arrays": arrays})
+            ''', path=RUNTIME_PATH)
+        assert rules_of(diags) == ["REP007"]
+        assert "time.time()" in diags[0].message
+
+    def test_direct_source_argument_flagged(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+            import pickle
+            import uuid
+
+            def persist(fh, state):
+                """Doc."""
+                pickle.dump({"run": uuid.uuid4().hex, "state": state}, fh)
+            ''', path=RUNTIME_PATH)
+        assert rules_of(diags) == ["REP007"]
+
+    def test_set_iteration_order_flagged(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+
+            def save(path, items):
+                """Doc."""
+                order = list(set(items))
+                checkpoint_write(path, order)
+            ''', path=RUNTIME_PATH)
+        assert rules_of(diags) == ["REP007"]
+
+    def test_sorted_set_is_deterministic(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+
+            def save(path, items):
+                """Doc."""
+                order = sorted(set(items))
+                atomic_savez(path, {"order": order})
+            ''', path=RUNTIME_PATH)
+        assert diags == []
+
+    def test_reassignment_clears_taint(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+            import time
+
+            def save(path, seed):
+                """Doc."""
+                stamp = time.time()
+                stamp = float(seed)
+                atomic_savez(path, {"stamp": stamp})
+            ''', path=RUNTIME_PATH)
+        assert diags == []
+
+    def test_source_without_sink_allowed(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+            import time
+
+            def benchmark(fn):
+                """Doc."""
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            ''', path=RUNTIME_PATH)
+        assert diags == []
+
+    def test_testlike_files_exempt(self):
+        diags = lint_snippet(
+            "import time\n"
+            "def test_x():\n"
+            "    atomic_savez('p', {'t': time.time()})\n")
+        assert diags == []
+
+
+class TestREP008RawEnvironmentQuery:
+    def test_raw_attack_in_core_flagged(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+
+            def evaluate(env):
+                """Doc."""
+                return env.attack([[1, 2]])
+            ''', path=LIB_PATH)
+        assert rules_of(diags) == ["REP008"]
+        assert "call_with_retry" in diags[0].message
+
+    def test_self_env_receiver_flagged(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+
+            class Agent:
+                """Doc."""
+
+                def probe(self):
+                    """Doc."""
+                    return self.env.attack([[0]])
+            ''', path=LIB_PATH)
+        assert rules_of(diags) == ["REP008"]
+
+    def test_retry_wrapped_function_sanctioned(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+
+            def query(env, policy):
+                """Doc."""
+                def attempt():
+                    return env.attack([[1]])
+                return call_with_retry(attempt, policy)
+            ''', path=LIB_PATH)
+        assert diags == []
+
+    def test_outside_core_unrestricted(self):
+        diags = lint_snippet(
+            '''\
+            """Doc."""
+
+            def chaos(env):
+                """Doc."""
+                return env.attack([[1]])
+            ''', path="src/repro/runtime/faults.py")
+        assert diags == []
+
+    def test_core_test_files_exempt(self):
+        diags = lint_snippet(
+            "def test_attack(env):\n    return env.attack([[1]])\n",
+            path="src/repro/core/test_helpers.py")
+        assert diags == []
+
+
 class TestSuppression:
     def test_targeted_suppression(self):
         diags = lint_snippet(
@@ -198,6 +346,30 @@ class TestSuppression:
         diags = lint_snippet(
             "t.data = arr  # graphlint: disable=REP001\n")
         assert rules_of(diags) == ["REP003"]
+
+    def test_multiline_statement_trailing_comment(self):
+        # The diagnostic anchors on the first line; the disable comment
+        # sits on the closing line of the same statement.
+        diags = lint_snippet(
+            "t.data = (\n"
+            "    arr\n"
+            ")  # graphlint: disable=REP003\n")
+        assert diags == []
+
+    def test_multiline_statement_comment_on_first_line(self):
+        diags = lint_snippet(
+            "t.data = (  # graphlint: disable=REP003\n"
+            "    arr\n"
+            ")\n")
+        assert diags == []
+
+    def test_comment_inside_def_body_does_not_silence_def_diag(self):
+        diags = lint_source(
+            '"""Doc."""\n'
+            "def f():\n"
+            "    x = 1  # graphlint: disable=REP006\n"
+            "    return x\n", LIB_PATH)
+        assert rules_of(diags) == ["REP006"]
 
 
 class TestCLI:
@@ -232,6 +404,36 @@ class TestCLI:
     def test_rules_listing(self, capsys):
         assert main(["--rules"]) == 0
         out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.id in out
+
+    def test_json_format_with_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(4)\n")
+        assert main(["--format=json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["statistics"]["REP001"] == 1
+        (diag,) = [d for d in payload["diagnostics"]
+                   if d["rule"] == "REP001"]
+        assert diag["path"] == str(bad)
+        assert diag["line"] == 2
+
+    def test_json_format_clean_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text('"""Doc."""\n')
+        assert main(["--format=json", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+        assert all(count == 0
+                   for count in payload["statistics"].values())
+
+    def test_statistics_lists_every_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(4)\n")
+        assert main(["--statistics", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001  1" in out
         for rule in RULES:
             assert rule.id in out
 
