@@ -7,9 +7,11 @@ paper reports, and persists them under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 #: Paper's Table III column order.
 RANKERS = ("itempop", "covisitation", "pmf", "bpr", "neumf", "autorec",
@@ -26,6 +28,21 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable result as ``BENCH_<name>.json``.
+
+    The file lands at the repository root so CI can pick it up as an
+    artifact without globbing; a copy of the same payload also goes to
+    ``benchmarks/results/`` next to the human-readable blocks.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+    return path
 
 
 def once(benchmark, fn):

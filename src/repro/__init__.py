@@ -15,6 +15,7 @@ Quickstart
 from .core import (PoisonRec, PoisonRecConfig, TrainResult, build_bcbt,
                    make_action_space)
 from .data import Dataset, InteractionLog, load_dataset
+from .perf import QueryPool, QueryProfiler
 from .recsys import (RANKER_NAMES, BlackBoxEnvironment, RecommenderSystem,
                      make_ranker)
 from .runtime import (FaultPlan, FaultyEnvironment, ResilienceConfig,
@@ -29,5 +30,6 @@ __all__ = [
     "RANKER_NAMES", "BlackBoxEnvironment", "RecommenderSystem", "make_ranker",
     "FaultPlan", "FaultyEnvironment", "ResilienceConfig",
     "load_campaign", "save_campaign",
+    "QueryPool", "QueryProfiler",
     "__version__",
 ]

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 from .attacks import BASELINE_CLASSES
 from .core import PoisonRec
+from .perf import QueryPool
 from .data import DATASET_NAMES, load_dataset
 from .experiments import SCALES, build_environment, format_table, run_baseline
 from .recsys import RANKER_NAMES
@@ -76,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--max-retries", type=int, default=3,
                         help="retries per failed environment query "
                              "(default: 3)")
+    attack.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fan reward queries out over N forked system "
+                             "replicas; bit-identical to serial "
+                             "(poisonrec only, default: 1)")
 
     compare = subparsers.add_parser(
         "compare", help="run every attack method against one testbed")
@@ -122,6 +127,16 @@ def cmd_attack(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.chaos > 0.0:
+        # The chaos fault schedule lives in the parent's RNG; forked
+        # replicas would each replay it, changing the injected-fault
+        # sequence versus the serial run.
+        print("error: --workers > 1 cannot be combined with --chaos",
+              file=sys.stderr)
+        return 2
     scale = SCALES[args.scale]
     _, system, env = build_environment(args.dataset, args.ranker, scale,
                                        seed=args.seed)
@@ -137,8 +152,13 @@ def cmd_attack(args: argparse.Namespace) -> int:
             attack_env = chaos
             print(f"chaos mode: {args.chaos:.0%} injected fault rate "
                   f"(seed {args.seed})")
+        pool = None
+        if args.workers > 1:
+            pool = QueryPool(attack_env, workers=args.workers)
+            mode = "parallel" if pool.parallel else "serial fallback"
+            print(f"query pool: {args.workers} workers ({mode})")
         agent = PoisonRec(attack_env, scale.config(seed=args.seed),
-                          action_space=args.action_space)
+                          action_space=args.action_space, query_pool=pool)
         resilience = None
         if args.chaos > 0.0 or args.checkpoint:
             resilience = ResilienceConfig(
@@ -151,13 +171,20 @@ def cmd_attack(args: argparse.Namespace) -> int:
             resume_from = args.checkpoint
             print(f"resuming campaign from {as_npz_path(args.checkpoint)}")
         steps = args.steps if args.steps is not None else scale.rl_steps
-        agent.train(steps, callback=lambda s: print(
-            f"  step {s.step:3d}: mean={s.mean_reward:8.1f} "
-            f"max={s.max_reward:6.0f}" + (
-                f" retries={s.retries} quarantined={s.quarantined}"
-                if resilience is not None else "")),
-            resilience=resilience, resume_from=resume_from)
+        try:
+            agent.train(steps, callback=lambda s: print(
+                f"  step {s.step:3d}: mean={s.mean_reward:8.1f} "
+                f"max={s.max_reward:6.0f}" + (
+                    f" retries={s.retries} quarantined={s.quarantined}"
+                    if resilience is not None else "")),
+                resilience=resilience, resume_from=resume_from)
+        finally:
+            if pool is not None:
+                pool.close()
         print(f"poisonrec best RecNum: {agent.result.best_reward:.0f}")
+        if pool is not None and pool.crashes:
+            print(f"query pool: healed {pool.crashes} worker crash(es), "
+                  f"{pool.serial_fallbacks} serial fallback(s)")
         if resilience is not None:
             history = agent.result.history
             print(f"resilience: retries="

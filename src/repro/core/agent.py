@@ -14,6 +14,11 @@ crash-safe checkpoints every K steps, and rolls back to the last good
 checkpoint with a lowered learning rate when the divergence watchdog
 fires.  ``train(resume_from=...)`` continues an interrupted campaign
 bit-identically — same seed, same trajectory as an uninterrupted run.
+
+Each step samples all ``M`` rollouts up front and then observes their
+rewards as one batch, so the queries can be fanned out over a
+:class:`~repro.perf.pool.QueryPool` of forked system replicas without
+changing a single observed number (see :mod:`repro.perf`).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..nn.anomaly import AnomalyError, detect_anomaly
+from ..perf.pool import QueryOutcome, QueryPool
 from ..recsys.system import BlackBoxEnvironment
 from ..runtime.checkpoint import PathLike, load_campaign, save_campaign
 from ..runtime.errors import (CampaignDivergenceError, CorruptRewardError,
@@ -86,12 +92,20 @@ class PoisonRec:
         ``"plain"``, ``"bplain"``, ``"bcbt-popular"`` (default, the
         paper's full method) or ``"bcbt-random"``; alternatively an
         already-built :class:`ActionSpace`.
+    query_pool:
+        Optional :class:`~repro.perf.pool.QueryPool` to fan each step's
+        ``M`` reward queries out over worker processes.  Thanks to the
+        pool's exact-equivalence guarantee the campaign's history is
+        bit-identical to the serial run on the same seed; the pool is
+        a pure wall-clock optimization.
     """
 
     def __init__(self, env: BlackBoxEnvironment,
                  config: Optional[PoisonRecConfig] = None,
-                 action_space: str | ActionSpace = "bcbt-popular") -> None:
+                 action_space: str | ActionSpace = "bcbt-popular",
+                 query_pool: Optional[QueryPool] = None) -> None:
         self.env = env
+        self.query_pool = query_pool
         self.config = config or PoisonRecConfig()
         if isinstance(action_space, str):
             action_space = make_action_space(
@@ -205,6 +219,34 @@ class PoisonRec:
                                   sleep=state.config.sleep)
         return outcome.value, outcome.retries
 
+    def _query_batch(self, rollouts: List[Rollout],
+                     state: Optional[CampaignState]) -> List[QueryOutcome]:
+        """Observe one reward per rollout, serially or through the pool.
+
+        Queries are pure functions of their trajectories (the system
+        restores its full clean state — parameters and RNG — before each
+        one), so batching them after sampling is bit-identical to the
+        historical sample-query interleaving: sampling consumes only the
+        agent RNG and querying consumes none.
+        """
+        if self.query_pool is not None:
+            return self.query_pool.attack_many(
+                [rollout.trajectories() for rollout in rollouts],
+                retry=state.config.retry if state is not None else None,
+                rng=state.rng if state is not None else None,
+                sleep=state.config.sleep if state is not None else None)
+        outcomes: List[QueryOutcome] = []
+        for rollout in rollouts:
+            try:
+                reward, attempts = self._query(rollout.trajectories(), state)
+            except RetriesExhaustedError as error:
+                outcomes.append(QueryOutcome(
+                    reward=None, retries=max(error.attempts - 1, 0),
+                    error=error))
+                continue
+            outcomes.append(QueryOutcome(reward=reward, retries=attempts))
+        return outcomes
+
     def train_step(self) -> StepStats:
         """One iteration of Algorithm 1's outer loop."""
         return self._train_step(None)
@@ -214,17 +256,17 @@ class PoisonRec:
         experiences: List[Experience] = []
         retries = 0
         quarantined = 0
-        for _ in range(cfg.samples_per_step):
-            rollout = self.sample_attack()
-            try:
-                reward, attempts = self._query(rollout.trajectories(), state)
-            except RetriesExhaustedError as error:
+        rollouts = [self.sample_attack() for _ in range(cfg.samples_per_step)]
+        outcomes = self._query_batch(rollouts, state)
+        for rollout, outcome in zip(rollouts, outcomes):
+            retries += outcome.retries
+            if outcome.reward is None:
                 # Degrade gracefully: drop this sample, keep the batch.
                 quarantined += 1
-                retries += max(error.attempts - 1, 0)
-                state.budget.spend(reason=str(error))
+                if state is not None:
+                    state.budget.spend(reason=str(outcome.error))
                 continue
-            retries += attempts
+            reward = outcome.reward
             experiences.append(Experience(rollout=rollout, reward=reward))
             self.reward_moments.update(reward)
             if reward > self.result.best_reward:

@@ -12,7 +12,7 @@ the autograd engine via :meth:`PolicyNetwork.rollout_log_probs`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -33,6 +33,8 @@ class Rollout:
     decisions: Dict[str, np.ndarray]
     log_probs: np.ndarray
     mask: np.ndarray
+    _trajectories: Optional[List[List[int]]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def num_attackers(self) -> int:
@@ -43,8 +45,15 @@ class Rollout:
         return self.items.shape[1]
 
     def trajectories(self) -> List[List[int]]:
-        """Item sequences ready for :meth:`BlackBoxEnvironment.attack`."""
-        return [list(map(int, row)) for row in self.items]
+        """Item sequences ready for :meth:`BlackBoxEnvironment.attack`.
+
+        The conversion is cached: rollouts are immutable once sampled,
+        and the query path (retries, resampled batches) may ask for the
+        same sequences several times.
+        """
+        if self._trajectories is None:
+            self._trajectories = [list(map(int, row)) for row in self.items]
+        return self._trajectories
 
 
 class PolicyNetwork(Module):

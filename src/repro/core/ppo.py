@@ -88,18 +88,27 @@ class PPOTrainer:
         if not experiences:
             return []
         losses = []
+        subsample = (batch_size is not None
+                     and batch_size < len(experiences))
+        # Full-batch epochs all see the same examples, so the stacked
+        # arrays are loop-invariant: flatten once, reuse every epoch.
+        flat = None if subsample else self._flatten(list(experiences))
         for _ in range(epochs):
-            if batch_size is not None and batch_size < len(experiences):
+            if subsample:
                 chosen = self.rng.choice(len(experiences), size=batch_size,
                                          replace=False)
                 batch = [experiences[i] for i in chosen]
+                losses.append(self._update_once(batch))
             else:
-                batch = list(experiences)
-            losses.append(self._update_once(batch))
+                losses.append(self._step(flat))
         return losses
 
     def _update_once(self, batch: Sequence[Experience]) -> float:
-        items, decisions, old_lp, mask, row_adv = self._flatten(batch)
+        return self._step(self._flatten(batch))
+
+    def _step(self, flat: tuple) -> float:
+        """One clipped-surrogate gradient step over pre-flattened arrays."""
+        items, decisions, old_lp, mask, row_adv = flat
         if not np.any(row_adv):
             return 0.0  # zero-variance batch: no gradient signal
         new_lp = self.policy.rollout_log_probs(items, decisions)

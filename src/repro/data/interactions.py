@@ -51,6 +51,32 @@ class InteractionLog:
         clone._sequences = {u: list(seq) for u, seq in self._sequences.items()}
         return clone
 
+    def splice(self, other: "InteractionLog") -> None:
+        """Graft ``other``'s sequences into this log without copying.
+
+        The zero-copy complement of :meth:`merged_with` for the poison
+        hot path: sequence *references* are shared, so splicing costs one
+        dict insert per user instead of re-copying the whole log.  The
+        users must be disjoint from this log's (poison rows belong to
+        fresh attacker accounts), and neither log may be mutated while
+        the splice is active; call :meth:`unsplice` to detach.
+        """
+        if other.num_items != self.num_items:
+            raise ValueError("cannot splice logs over different "
+                             "item universes")
+        overlap = self._sequences.keys() & other._sequences.keys()
+        if overlap:
+            raise ValueError(
+                f"splice requires disjoint users; {len(overlap)} user(s) "
+                "appear in both logs")
+        for user, sequence in other._sequences.items():
+            self._sequences[user] = sequence
+
+    def unsplice(self, other: "InteractionLog") -> None:
+        """Detach sequences previously grafted by :meth:`splice`."""
+        for user in other._sequences:
+            self._sequences.pop(user, None)
+
     def merged_with(self, other: "InteractionLog") -> "InteractionLog":
         """Return a new log combining both logs' sequences.
 

@@ -1,0 +1,26 @@
+"""Performance subsystem: parallel query engine + attack-path profiling.
+
+``repro.perf`` makes the black-box query loop fast without changing a
+single observed reward:
+
+* :class:`QueryPool` — fan per-step queries out over forked
+  recommender-system replicas, with a documented bit-exact equivalence
+  guarantee versus serial execution and transient-failure healing for
+  crashed workers.
+* :class:`QueryProfiler` — per-query wall-clock breakdown of the
+  restore / merge / retrain / score phases inside
+  :meth:`~repro.recsys.system.RecommenderSystem.attack`.
+
+See ``docs/performance.md`` for the measurement methodology and
+``benchmarks/bench_query_throughput.py`` for the throughput harness.
+"""
+
+from .pool import QueryOutcome, QueryPool, WorkerCrashError
+from .profile import QueryProfiler
+
+__all__ = [
+    "QueryPool",
+    "QueryOutcome",
+    "WorkerCrashError",
+    "QueryProfiler",
+]

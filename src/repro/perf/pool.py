@@ -1,0 +1,406 @@
+"""Deterministic parallel query engine for black-box attack campaigns.
+
+Algorithm 1's outer loop is bounded by environment queries: every one of
+the ``M`` samples per training step pays a full reload → poison-retrain →
+re-score round trip.  Those queries are *independent* — the recommender
+system restores its complete clean state (parameters **and** RNG stream,
+see :mod:`repro.recsys.snapshots`) before each injection — so a step's
+queries can fan out across processes and return bit-identical rewards.
+
+:class:`QueryPool` implements that fan-out:
+
+* ``workers=1`` (the default) never spawns a process: queries run
+  in-process, exactly as the plain serial loop.
+* ``workers>1`` forks worker processes, each holding a copy-on-write
+  replica of the :class:`~repro.recsys.system.RecommenderSystem`
+  (inherited via ``fork``, so no pickling and no duplicate fit).
+  :meth:`QueryPool.attack_many` dispatches the batch and returns
+  outcomes **in submission order**.
+
+Exact-equivalence guarantee
+---------------------------
+For a fault-free batch, ``attack_many(sets)`` returns the same rewards,
+in the same order, as ``[system.attack(s) for s in sets]`` — bit
+identical, not approximately.  This holds because ``attack`` is a pure
+function of its trajectories (clean state + RNG are restored before
+every injection) and replicas are bit-exact fork copies of the parent
+system.  A campaign driven through the pool therefore produces the same
+``StepStats`` history as the serial run on the same seed.
+
+Failure model
+-------------
+A crashed worker is a *transient* event, not a lost step: the pool
+reaps the dead process, forks a replacement, and re-issues the query
+(counted in :attr:`QueryOutcome.retries`, like any other transient
+retry).  A query that keeps killing workers falls back to in-process
+execution so the underlying error surfaces exactly as it would
+serially.  Typed :class:`~repro.runtime.errors.TransientEnvironmentError`
+failures raised inside a worker honor the caller's
+:class:`~repro.runtime.retry.RetryPolicy` — exhausted retries become a
+quarantinable :class:`~repro.runtime.errors.RetriesExhaustedError`
+outcome, mirroring ``repro.runtime``'s serial retry/quarantine path.
+If worker processes cannot be (re)spawned at all, the pool degrades
+permanently to serial mode rather than failing the campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.errors import (RetriesExhaustedError,
+                              TransientEnvironmentError)
+from ..runtime.retry import RetryPolicy, call_with_retry
+
+#: How long one scheduler wait blocks before re-checking worker liveness.
+_WAIT_TIMEOUT = 5.0
+
+
+class WorkerCrashError(TransientEnvironmentError):
+    """A pool worker died mid-query; the query is safe to re-issue."""
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one black-box query (pooled or serial).
+
+    ``reward`` is the observed RecNum, or ``None`` when the query was
+    quarantined (``error`` then holds the terminal
+    :class:`~repro.runtime.errors.RetriesExhaustedError`).  ``retries``
+    counts transient failures absorbed on the way — including worker
+    crashes healed by the pool.
+    """
+
+    reward: Optional[float]
+    retries: int = 0
+    error: Optional[Exception] = None
+
+
+def _worker_main(system, conn) -> None:
+    """Child-process loop: serve attack queries until the stop sentinel.
+
+    Replies ``(index, reward, None)`` per query.  On any query failure
+    the worker ships ``(index, None, error)`` back to the parent and
+    exits — a worker never serves queries from a possibly corrupted
+    replica; the parent forks a pristine replacement instead.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, trajectories = message
+        try:
+            reward = float(system.attack(trajectories))
+        except Exception as error:
+            conn.send((index, None, error))
+            raise SystemExit(1)
+        conn.send((index, reward, None))
+    conn.close()
+
+
+class QueryPool:
+    """Fan black-box queries out over forked recommender-system replicas.
+
+    Parameters
+    ----------
+    system:
+        The recommender system (or any object with a compatible
+        ``attack(trajectories) -> number`` method) to replicate.  The
+        parent's instance is also the serial-fallback executor.
+    workers:
+        Worker process count.  ``1`` runs everything in-process (no
+        multiprocessing at all); higher values fork that many replicas.
+    crash_retries:
+        How many times one query may be re-issued after killing a worker
+        before the pool executes it in-process to surface the real error.
+    """
+
+    def __init__(self, system, workers: int = 1,
+                 crash_retries: int = 3) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be non-negative")
+        self.system = system
+        self.workers = workers
+        self.crash_retries = crash_retries
+        methods = multiprocessing.get_all_start_methods()
+        #: Whether this pool can actually parallelize.  Fork is required:
+        #: replicas are inherited copy-on-write, never pickled.
+        self.parallel = workers > 1 and "fork" in methods
+        self._ctx = (multiprocessing.get_context("fork")
+                     if self.parallel else None)
+        self._procs: List[Optional[object]] = [None] * workers
+        self._conns: List[Optional[object]] = [None] * workers
+        self._started = False
+        #: Worker deaths observed (crashes plus error-recycles).
+        self.crashes = 0
+        #: Queries that ended up executing in-process after the pool
+        #: could not serve them (crash loops, spawn failures).
+        self.serial_fallbacks = 0
+        #: Pool gave up on parallel execution for good (spawn failure).
+        self.broken = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: int) -> bool:
+        """Fork one worker into ``slot``; False if the spawn failed."""
+        try:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(target=_worker_main,
+                                     args=(self.system, child_conn),
+                                     daemon=True)
+            proc.start()
+            child_conn.close()
+        except OSError:
+            self._procs[slot] = None
+            self._conns[slot] = None
+            return False
+        self._procs[slot] = proc
+        self._conns[slot] = parent_conn
+        return True
+
+    def _ensure_started(self) -> None:
+        if self._started or not self.parallel or self.broken:
+            return
+        spawned = sum(self._spawn(slot) for slot in range(self.workers))
+        if spawned == 0:
+            self.broken = True
+        self._started = True
+
+    def _recycle(self, slot: int) -> bool:
+        """Reap a dead/poisoned worker and fork a replacement."""
+        conn = self._conns[slot]
+        proc = self._procs[slot]
+        if conn is not None:
+            conn.close()
+        if proc is not None:
+            proc.join(timeout=_WAIT_TIMEOUT)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_WAIT_TIMEOUT)
+        return self._spawn(slot)
+
+    def close(self) -> None:
+        """Stop all workers; the pool can be restarted by the next batch."""
+        for slot in range(self.workers):
+            conn = self._conns[slot]
+            proc = self._procs[slot]
+            if conn is not None:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                conn.close()
+                self._conns[slot] = None
+            if proc is not None:
+                proc.join(timeout=_WAIT_TIMEOUT)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_WAIT_TIMEOUT)
+                self._procs[slot] = None
+        self._started = False
+
+    def __enter__(self) -> "QueryPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def attack(self, trajectories: Sequence[Sequence[int]]) -> float:
+        """One in-process query (convenience; bypasses the workers)."""
+        return float(self.system.attack(trajectories))
+
+    def _serial_outcome(self, trajectories, retry: Optional[RetryPolicy],
+                        rng, sleep, base_retries: int = 0) -> QueryOutcome:
+        """Execute one query in-process under the caller's retry policy."""
+        def attempt() -> float:
+            return float(self.system.attack(trajectories))
+
+        if retry is None:
+            return QueryOutcome(reward=attempt(), retries=base_retries)
+        try:
+            outcome = call_with_retry(attempt, retry, rng=rng, sleep=sleep)
+        except RetriesExhaustedError as error:
+            return QueryOutcome(
+                reward=None,
+                retries=base_retries + max(error.attempts - 1, 0),
+                error=error)
+        return QueryOutcome(reward=outcome.value,
+                            retries=base_retries + outcome.retries)
+
+    def attack_many(self, trajectory_sets: Sequence[Sequence[Sequence[int]]],
+                    retry: Optional[RetryPolicy] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    sleep: Optional[Callable[[float], None]] = None
+                    ) -> List[QueryOutcome]:
+        """Execute a batch of queries; outcomes come back in submission order.
+
+        On the fault-free path the rewards are bit-identical to running
+        the batch serially through ``system.attack`` (see the module
+        docstring for why).  ``retry``/``rng``/``sleep`` plug the
+        caller's :mod:`repro.runtime` retry policy into transient worker
+        failures; without a policy, transient errors propagate exactly
+        as they would serially.
+        """
+        if not trajectory_sets:
+            return []
+        self._ensure_started()
+        if not self.parallel or self.broken:
+            return [self._serial_outcome(trajectories, retry, rng, sleep)
+                    for trajectories in trajectory_sets]
+        return self._attack_many_parallel(trajectory_sets, retry, rng,
+                                          sleep if sleep is not None
+                                          else time.sleep)
+
+    # ------------------------------------------------------------------
+    def _attack_many_parallel(self, trajectory_sets, retry, rng,
+                              sleep) -> List[QueryOutcome]:
+        tasks = list(trajectory_sets)
+        results: List[Optional[QueryOutcome]] = [None] * len(tasks)
+        pending = deque(range(len(tasks)))
+        failures = [0] * len(tasks)       # transient in-worker failures
+        crashes = [0] * len(tasks)        # worker deaths while running it
+        busy = {}                         # slot -> task index
+
+        def live_idle_slots():
+            return [slot for slot in range(self.workers)
+                    if slot not in busy and self._conns[slot] is not None]
+
+        def dispatch() -> None:
+            for slot in live_idle_slots():
+                if not pending:
+                    return
+                index = pending.popleft()
+                try:
+                    self._conns[slot].send((index, tasks[index]))
+                except (BrokenPipeError, OSError):
+                    pending.appendleft(index)
+                    self._handle_crash(slot)
+                    continue
+                busy[slot] = index
+
+        def requeue_after_crash(index: int) -> None:
+            crashes[index] += 1
+            if crashes[index] > self.crash_retries:
+                # A query that keeps killing workers runs in-process so
+                # the real failure surfaces as it would serially.
+                self.serial_fallbacks += 1
+                results[index] = self._serial_outcome(
+                    tasks[index], retry, rng, sleep,
+                    base_retries=failures[index] + crashes[index])
+            else:
+                pending.appendleft(index)
+
+        while pending or busy:
+            dispatch()
+            if not busy:
+                if pending and not any(
+                        conn is not None for conn in self._conns):
+                    # Every worker slot is dead and respawning failed.
+                    self.broken = True
+                    while pending:
+                        index = pending.popleft()
+                        self.serial_fallbacks += 1
+                        results[index] = self._serial_outcome(
+                            tasks[index], retry, rng, sleep,
+                            base_retries=failures[index] + crashes[index])
+                continue
+            conn_to_slot = {self._conns[slot]: slot for slot in busy}
+            ready = _connection_wait(list(conn_to_slot), _WAIT_TIMEOUT)
+            if not ready:
+                # Paranoia sweep: a worker that died without closing its
+                # pipe would otherwise hang the batch forever.
+                for slot in list(busy):
+                    proc = self._procs[slot]
+                    if proc is None or not proc.is_alive():
+                        index = busy.pop(slot)
+                        self._handle_crash(slot)
+                        requeue_after_crash(index)
+                continue
+            for conn in ready:
+                slot = conn_to_slot[conn]
+                try:
+                    index, reward, error = conn.recv()
+                except (EOFError, OSError):
+                    index = busy.pop(slot)
+                    self._handle_crash(slot)
+                    requeue_after_crash(index)
+                    continue
+                busy.pop(slot)
+                if error is None:
+                    results[index] = QueryOutcome(
+                        reward=reward,
+                        retries=failures[index] + crashes[index])
+                    self._count_query()
+                    continue
+                # The worker ships the error then exits; recycle it.
+                self._handle_crash(slot)
+                if isinstance(error, TransientEnvironmentError):
+                    failures[index] += 1
+                    if retry is None:
+                        self._abort(busy)
+                        raise error
+                    if failures[index] >= retry.max_attempts:
+                        results[index] = QueryOutcome(
+                            reward=None,
+                            retries=(failures[index] - 1 + crashes[index]),
+                            error=RetriesExhaustedError(
+                                f"gave up after {failures[index]} "
+                                f"attempt(s): {error}",
+                                attempts=failures[index]))
+                        continue
+                    delay = retry.backoff(failures[index], rng)
+                    if delay > 0.0:
+                        sleep(delay)
+                    pending.appendleft(index)
+                else:
+                    self._abort(busy)
+                    raise error
+        return results
+
+    def _handle_crash(self, slot: int) -> None:
+        """Reap + respawn one worker, recording the death."""
+        self.crashes += 1
+        self._recycle(slot)
+
+    def _count_query(self) -> None:
+        """Mirror a worker-side query into the parent's budget counter."""
+        target = self.system
+        if not hasattr(target, "query_count"):
+            return
+        try:
+            target.query_count += 1
+        except AttributeError:
+            # Read-only facade (e.g. BlackBoxEnvironment): charge the
+            # underlying system it forwards to.
+            inner = getattr(target, "_system", None)
+            if inner is not None:
+                inner.query_count += 1
+
+    def _abort(self, busy: dict) -> None:
+        """Tear the pool down before propagating a fatal error.
+
+        In-flight results would otherwise desynchronize the next batch;
+        a fresh set of workers is forked lazily if the pool is reused.
+        """
+        busy.clear()
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "parallel" if self.parallel and not self.broken else "serial"
+        return (f"QueryPool(workers={self.workers}, mode={mode}, "
+                f"crashes={self.crashes})")

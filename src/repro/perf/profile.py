@@ -1,0 +1,67 @@
+"""Per-query phase profiler for the black-box attack hot path.
+
+Attach a :class:`QueryProfiler` to a
+:class:`~repro.recsys.system.RecommenderSystem` (``system.profiler =
+QueryProfiler()``) and every ``attack`` call reports wall-clock time into
+four phases:
+
+``restore``
+    Reloading the clean ranker state (snapshot restore or incremental
+    poison revert).
+``merge``
+    Building the poison log and splicing it into the merged-log skeleton.
+``retrain``
+    The ranker's ``poison_update`` pass.
+``score``
+    Re-scoring the frozen evaluation users (the RecNum readout).
+
+The profiler only accumulates floats, so leaving it attached costs two
+``perf_counter`` reads per phase; the throughput benchmark uses it to
+emit the per-query breakdown in ``BENCH_query_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class QueryProfiler:
+    """Accumulates wall-clock seconds and call counts per attack phase."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase; nested/repeated phases accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals: ``{phase: {seconds, calls, mean_seconds}}``."""
+        return {
+            name: {
+                "seconds": total,
+                "calls": self.counts[name],
+                "mean_seconds": total / max(self.counts[name], 1),
+            }
+            for name, total in sorted(self.totals.items())
+        }
+
+    def reset(self) -> None:
+        """Discard all accumulated timings."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def __repr__(self) -> str:
+        phases = ", ".join(f"{name}={total:.3f}s"
+                           for name, total in sorted(self.totals.items()))
+        return f"QueryProfiler({phases})"

@@ -15,10 +15,12 @@ from .neumf import NeuMF
 from .ngcf import NGCF
 from .pmf import PMF
 from .registry import RANKER_CLASSES, RANKER_NAMES, make_ranker
+from .snapshots import RankerSnapshot, SnapshotMismatchError, states_equal
 from .system import BlackBoxEnvironment, RecommenderSystem
 
 __all__ = [
     "Ranker", "sample_negatives",
+    "RankerSnapshot", "SnapshotMismatchError", "states_equal",
     "ItemPop", "CoVisitation", "PMF", "BPR", "NeuMF", "AutoRec", "GRU4Rec",
     "NGCF",
     "RANKER_CLASSES", "RANKER_NAMES", "make_ranker",

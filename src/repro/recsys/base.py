@@ -17,6 +17,7 @@ import numpy as np
 
 from ..data.interactions import InteractionLog
 from ..nn.spec import shape_spec
+from .snapshots import RankerSnapshot, thaw_into
 
 
 class Ranker(abc.ABC):
@@ -36,6 +37,12 @@ class Ranker(abc.ABC):
 
     #: Registry key, e.g. ``"bpr"``.
     name: ClassVar[str] = "base"
+
+    #: Rankers whose ``poison_update`` is a pure additive delta can set
+    #: this and implement :meth:`poison_revert`, letting the recommender
+    #: system undo a poison injection in O(|poison|) instead of restoring
+    #: the full clean snapshot (see ``docs/performance.md``).
+    supports_incremental_revert: ClassVar[bool] = False
 
     def __init__(self, num_users: int, num_items: int, seed: int = 0) -> None:
         if num_users <= 0 or num_items <= 0:
@@ -63,6 +70,18 @@ class Ranker(abc.ABC):
         """
         self.fit(log)
 
+    def poison_revert(self, poison: InteractionLog) -> None:
+        """Exactly undo the most recent ``poison_update``.
+
+        Only meaningful when :attr:`supports_incremental_revert` is True
+        and ``poison`` is the same log the update was applied with; the
+        result must be *bit-identical* to restoring the pre-poison
+        snapshot (asserted by ``verify_incremental`` mode and the perf
+        test-suite).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental revert")
+
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
@@ -85,13 +104,30 @@ class Ranker(abc.ABC):
     # ------------------------------------------------------------------
     # State management (for the reload-and-poison loop)
     # ------------------------------------------------------------------
-    def snapshot(self) -> Any:
-        """Capture the trained state; restorable via :meth:`restore`."""
-        return copy.deepcopy(self._state())
+    def snapshot(self) -> RankerSnapshot:
+        """Capture the trained state; restorable via :meth:`restore`.
+
+        The returned :class:`~repro.recsys.snapshots.RankerSnapshot`
+        holds read-only array copies plus the ranker's RNG stream, so a
+        restored ranker replays ``poison_update`` identically no matter
+        how many queries ran in between — the property the parallel
+        query engine's equivalence guarantee is built on.
+        """
+        return RankerSnapshot.capture(self)
 
     def restore(self, state: Any) -> None:
-        """Restore a state captured by :meth:`snapshot`."""
-        self._set_state(copy.deepcopy(state))
+        """Restore a state captured by :meth:`snapshot`.
+
+        Snapshot restores are copy-on-write: frozen arrays are copied in
+        place into the live buffers (no allocation).  Raw states (the
+        pre-snapshot legacy form: whatever ``_state`` returned) are still
+        accepted and deep-copied defensively.
+        """
+        if isinstance(state, RankerSnapshot):
+            self._set_state(thaw_into(state.state, self._state()))
+            self.rng.bit_generator.state = state.rng_state
+        else:
+            self._set_state(copy.deepcopy(state))
 
     def _state(self) -> Any:
         raise NotImplementedError(

@@ -23,6 +23,7 @@ class CoVisitation(Ranker):
     """Co-visitation graph recommender."""
 
     name = "covisitation"
+    supports_incremental_revert = True
 
     def __init__(self, num_users: int, num_items: int, seed: int = 0,
                  history_window: int = 20) -> None:
@@ -58,6 +59,43 @@ class CoVisitation(Ranker):
                       poison: InteractionLog) -> None:
         # Edges are additive; only the poison sequences add new ones.
         self._add_edges(poison)
+
+    def poison_revert(self, poison: InteractionLog) -> None:
+        """Exactly undo :meth:`poison_update` for the same ``poison`` log.
+
+        Replays the edge walk of :meth:`_add_edges` in reverse: each
+        co-visit weight is decremented by the same 1.0 it was incremented
+        by (bit-exact for float64 counts), emptied rows and zeroed
+        entries are deleted so the dict structure matches the clean
+        graph, and the appended history suffix is trimmed (dropping the
+        whole entry for users the poison created).
+        """
+        for user, sequence in poison.iter_sequences():
+            history = self._histories.get(user, [])
+            start = len(history) - len(sequence)
+            prev = history[start - 1] if start > 0 else None
+            for item in sequence:
+                if prev is not None and prev != item:
+                    self._remove_edge(prev, item)
+                prev = item
+            if start <= 0:
+                # The poison walk created this history via setdefault.
+                self._histories.pop(user, None)
+            else:
+                del history[start:]
+
+    def _remove_edge(self, a: int, b: int) -> None:
+        """Decrement one bidirectional co-visit edge added by the poison."""
+        for src, dst in ((a, b), (b, a)):
+            row = self.covisits[src]
+            weight = row[dst] - 1.0
+            if weight <= 0.0:
+                del row[dst]
+            else:
+                row[dst] = weight
+            if not row:
+                del self.covisits[src]
+            self.out_degree[src] -= 1.0
 
     # ------------------------------------------------------------------
     @shape_spec("_, (C,) -> (C,)")

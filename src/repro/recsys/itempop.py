@@ -18,6 +18,7 @@ class ItemPop(Ranker):
     """Non-personalized popularity ranker."""
 
     name = "itempop"
+    supports_incremental_revert = True
 
     def __init__(self, num_users: int, num_items: int, seed: int = 0) -> None:
         super().__init__(num_users, num_items, seed)
@@ -28,8 +29,14 @@ class ItemPop(Ranker):
 
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
-        # Popularity is additive, so the update is just the poison counts.
-        self.counts = self.counts + poison.item_counts()
+        # Popularity is additive, so the update is just the poison counts
+        # (applied in place: the clean buffer is reused query after query).
+        self.counts += poison.item_counts()
+
+    def poison_revert(self, poison: InteractionLog) -> None:
+        # Counts are integers stored as float64, so subtracting the same
+        # poison counts restores the clean array bit-exactly.
+        self.counts -= poison.item_counts()
 
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:

@@ -15,6 +15,7 @@ reward after an injection — nothing else.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 import numpy as np
@@ -24,6 +25,7 @@ from .base import Ranker
 from .candidate import (CandidateGenerator, PopularityCandidateGenerator,
                         RandomCandidateGenerator)
 from .registry import make_ranker
+from .snapshots import SnapshotMismatchError, states_equal
 
 
 class RecommenderSystem:
@@ -46,6 +48,17 @@ class RecommenderSystem:
     eval_user_sample:
         Optionally evaluate RecNum over a fixed random subset of users
         instead of all of them (speeds up large runs; None = all users).
+    incremental:
+        Use a ranker's O(|poison|) ``poison_revert`` delta instead of a
+        full snapshot restore where supported (ItemPop, CoVisitation).
+        The revert is bit-exact, so results are identical either way;
+        disable only to benchmark the full-restore path.
+    verify_incremental:
+        After every incremental revert, assert the ranker state matches
+        the clean snapshot exactly (raises
+        :class:`~repro.recsys.snapshots.SnapshotMismatchError` on
+        drift).  Debug/test mode: it re-validates the whole state each
+        query, erasing the revert's speedup.
     """
 
     def __init__(self, dataset: Dataset, ranker: str | Ranker,
@@ -53,8 +66,9 @@ class RecommenderSystem:
                  num_original_candidates: int = 92, top_k: int = 10,
                  seed: int = 0, ranker_kwargs: Optional[dict] = None,
                  eval_user_sample: Optional[int] = None,
-                 candidate_generator: str | CandidateGenerator = "random"
-                 ) -> None:
+                 candidate_generator: str | CandidateGenerator = "random",
+                 incremental: bool = True,
+                 verify_incremental: bool = False) -> None:
         if num_targets <= 0:
             raise ValueError("num_targets must be positive")
         self.dataset = dataset
@@ -86,6 +100,21 @@ class RecommenderSystem:
             self.ranker = ranker
         self.ranker.fit(self.clean_log)
         self._clean_state = self.ranker.snapshot()
+        # Normalize the post-fit state through one restore so "never
+        # poisoned" and "restored after poisoning" are the same state
+        # (fresh optimizer moments, snapshot RNG stream).  This is what
+        # makes it sound for attack() to skip the restore entirely when
+        # the system is already clean.
+        self.ranker.restore(self._clean_state)
+        # Pre-built merged-log skeleton: poison rows are spliced in and
+        # out of this copy each query instead of re-copying the clean log.
+        self._merged_skeleton = self.clean_log.copy()
+        self.incremental = incremental
+        self.verify_incremental = verify_incremental
+        #: Optional :class:`repro.perf.QueryProfiler` timing each attack
+        #: phase (restore / merge / retrain / score).
+        self.profiler = None
+        self._active_poison: Optional[InteractionLog] = None
 
         # Frozen evaluation protocol: fixed eval users and candidate sets so
         # RecNum differences across attacks reflect the poisoning, not
@@ -165,13 +194,49 @@ class RecommenderSystem:
             poison.add_sequence(int(self.attacker_users[i]), trajectory)
         return poison
 
-    def reset(self) -> None:
-        """Reload the clean ranker state (pre-poison)."""
-        self.ranker.restore(self._clean_state)
+    def _phase(self, name: str):
+        """Profiling context for one attack phase (no-op when unprofiled)."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.phase(name)
+
+    def reset(self, force: bool = False) -> None:
+        """Reload the clean ranker state (pre-poison).
+
+        Already-clean systems return immediately — the restore would be
+        a no-op by construction (the post-fit state is normalized through
+        one restore in ``__init__``).  When the active poison is known
+        and the ranker supports it, the reload is an O(|poison|)
+        incremental revert instead of a full snapshot restore; ``force``
+        bypasses both shortcuts and always restores the snapshot.
+        """
+        if not self._poisoned and not force:
+            return
+        poison = self._active_poison
+        if (not force and self.incremental and poison is not None
+                and self.ranker.supports_incremental_revert):
+            self.ranker.poison_revert(poison)
+            if self.verify_incremental:
+                self._assert_clean_state()
+        else:
+            self.ranker.restore(self._clean_state)
         self._poisoned = False
+        self._active_poison = None
+
+    def _assert_clean_state(self) -> None:
+        """Verify an incremental revert reproduced the clean state exactly."""
+        if not states_equal(self.ranker._state(), self._clean_state.state):
+            raise SnapshotMismatchError(
+                f"incremental poison revert on {self.ranker.name!r} did "
+                "not reproduce the clean snapshot — poison_revert is not "
+                "the exact inverse of poison_update")
 
     def inject(self, trajectories: Sequence[Sequence[int]]) -> None:
         """Inject fake behaviors and update the ranker (no reset).
+
+        The merged (clean + poison) log handed to the ranker is the
+        pre-built skeleton with the poison rows spliced in for the
+        duration of the update — no per-query copy of the clean log.
 
         If the ranker's retraining raises, the clean snapshot is
         restored before the exception propagates: a failed poison update
@@ -180,14 +245,23 @@ class RecommenderSystem:
         This is the consistency invariant ``repro.runtime``'s
         retry/backoff loop relies on when it re-issues a failed query.
         """
-        poison = self.build_poison_log(trajectories)
-        merged = self.clean_log.merged_with(poison)
+        with self._phase("merge"):
+            poison = self.build_poison_log(trajectories)
+            self._merged_skeleton.splice(poison)
         try:
-            self.ranker.poison_update(merged, poison)
+            with self._phase("retrain"):
+                self.ranker.poison_update(self._merged_skeleton, poison)
         except Exception:
             self.ranker.restore(self._clean_state)
             self._poisoned = False
+            self._active_poison = None
             raise
+        finally:
+            self._merged_skeleton.unsplice(poison)
+        # Stacked injections (no reset in between) have no single active
+        # poison to revert; the next reset then falls back to the full
+        # snapshot restore instead of an (incorrect) incremental revert.
+        self._active_poison = None if self._poisoned else poison
         self._poisoned = True
 
     def attack(self, trajectories: Sequence[Sequence[int]]) -> int:
@@ -197,11 +271,19 @@ class RecommenderSystem:
         and the primitive every attack method in this package is built on.
         Each call counts as one black-box query (``query_count``), the
         budget unit for comparing learning-based attacks fairly.
+
+        Because the reload restores the ranker's full state *including
+        its RNG stream*, the returned RecNum is a pure function of
+        ``trajectories`` — independent of query order — which is the
+        exact-equivalence contract :class:`repro.perf.QueryPool` relies
+        on to fan queries out across worker processes.
         """
-        self.reset()
+        with self._phase("restore"):
+            self.reset()
         self.inject(trajectories)
         self.query_count += 1
-        return self.recnum()
+        with self._phase("score"):
+            return self.recnum()
 
     def __repr__(self) -> str:
         return (f"RecommenderSystem(ranker={self.ranker.name!r}, "

@@ -28,7 +28,9 @@ def itempop_system(tiny_dataset) -> RecommenderSystem:
 
 @pytest.fixture()
 def itempop_env(itempop_system) -> BlackBoxEnvironment:
-    itempop_system.reset()
+    # force=True: the session-scoped system must come back pristine even
+    # if a previous test mutated the ranker without marking it poisoned.
+    itempop_system.reset(force=True)
     return BlackBoxEnvironment(itempop_system)
 
 

@@ -1,0 +1,266 @@
+"""QueryPool: equivalence, ordering, crash healing, retry semantics."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import PoisonRec, PoisonRecConfig
+from repro.data import DatasetSpec, generate_log, leave_one_out_split
+from repro.perf import QueryOutcome, QueryPool, WorkerCrashError
+from repro.recsys import BlackBoxEnvironment, RecommenderSystem
+from repro.runtime import RetryPolicy
+from repro.runtime.errors import (RetriesExhaustedError,
+                                  TransientEnvironmentError)
+
+HAS_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK,
+                                reason="fork start method unavailable")
+
+
+def make_env(ranker="covisitation", seed=0):
+    spec = DatasetSpec(name="tiny", num_users=30, num_items=50,
+                       num_samples=300, num_clusters=4)
+    dataset = leave_one_out_split("tiny", generate_log(spec, seed=7))
+    system = RecommenderSystem(dataset, ranker, seed=seed, num_attackers=8)
+    return BlackBoxEnvironment(system)
+
+
+class SumSystem:
+    """Deterministic stand-in: reward = sum of all injected item ids."""
+
+    def __init__(self):
+        self.query_count = 0
+
+    def attack(self, trajectories):
+        self.query_count += 1
+        return float(sum(sum(t) for t in trajectories))
+
+
+class CrashingSystem(SumSystem):
+    """Kills the worker process while ``flag_path`` does not exist."""
+
+    def __init__(self, flag_path, crashes=1):
+        super().__init__()
+        self.flag_path = str(flag_path)
+        self.crashes = crashes
+
+    def attack(self, trajectories):
+        count = 0
+        while os.path.exists(f"{self.flag_path}.{count}"):
+            count += 1
+        if count < self.crashes:
+            open(f"{self.flag_path}.{count}", "w").close()
+            os._exit(1)
+        return super().attack(trajectories)
+
+
+class ChildOnlyCrashSystem(SumSystem):
+    """Crashes in every forked worker but works in the parent process."""
+
+    def __init__(self):
+        super().__init__()
+        self.parent_pid = os.getpid()
+
+    def attack(self, trajectories):
+        if os.getpid() != self.parent_pid:
+            os._exit(1)
+        return super().attack(trajectories)
+
+
+class FlakySystem(SumSystem):
+    """Raises a transient error until ``failures`` flag files exist."""
+
+    def __init__(self, flag_path, failures=1):
+        super().__init__()
+        self.flag_path = str(flag_path)
+        self.failures = failures
+
+    def attack(self, trajectories):
+        count = 0
+        while os.path.exists(f"{self.flag_path}.{count}"):
+            count += 1
+        if count < self.failures:
+            open(f"{self.flag_path}.{count}", "w").close()
+            raise TransientEnvironmentError("flaky")
+        return super().attack(trajectories)
+
+
+class AlwaysTransientSystem(SumSystem):
+    def attack(self, trajectories):
+        raise TransientEnvironmentError("always down")
+
+
+class BoomError(RuntimeError):
+    pass
+
+
+class FatalSystem(SumSystem):
+    def attack(self, trajectories):
+        raise BoomError("not transient")
+
+
+def batch(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [[list(map(int, rng.integers(0, 100, size=5))) for _ in range(3)]
+            for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Serial fallback (workers=1)
+# ----------------------------------------------------------------------
+def test_workers_one_never_spawns_processes():
+    system = SumSystem()
+    pool = QueryPool(system, workers=1)
+    outcomes = pool.attack_many(batch(4))
+    assert not pool.parallel
+    assert all(proc is None for proc in pool._procs)
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in sets)) for sets in batch(4)]
+    assert system.query_count == 4
+    pool.close()
+
+
+def test_invalid_workers_rejected():
+    with pytest.raises(ValueError):
+        QueryPool(SumSystem(), workers=0)
+    with pytest.raises(ValueError):
+        QueryPool(SumSystem(), crash_retries=-1)
+
+
+# ----------------------------------------------------------------------
+# Parallel equivalence
+# ----------------------------------------------------------------------
+@needs_fork
+def test_parallel_matches_serial_order_and_values():
+    sets = batch(9, seed=3)
+    serial = [float(sum(sum(t) for t in s)) for s in sets]
+    system = SumSystem()
+    with QueryPool(system, workers=3) as pool:
+        outcomes = pool.attack_many(sets)
+    assert [o.reward for o in outcomes] == serial
+    assert all(o.retries == 0 and o.error is None for o in outcomes)
+    # The parent's budget counter reflects worker-side queries.
+    assert system.query_count == len(sets)
+
+
+@needs_fork
+def test_parallel_campaign_bit_identical_to_serial():
+    """workers=4 produces the exact serial StepStats history (ISSUE
+    acceptance criterion)."""
+    def run(pool_workers):
+        env = make_env()
+        pool = (QueryPool(env, workers=pool_workers)
+                if pool_workers else None)
+        agent = PoisonRec(env, PoisonRecConfig.ci(), action_space="plain",
+                          query_pool=pool)
+        result = agent.train(steps=2)
+        if pool is not None:
+            pool.close()
+        history = [(s.step, s.mean_reward, s.max_reward, tuple(s.losses),
+                    s.retries, s.quarantined) for s in result.history]
+        return history, result.best_reward, env.query_count
+
+    serial_history, serial_best, serial_queries = run(0)
+    pooled_history, pooled_best, pooled_queries = run(4)
+    assert pooled_history == serial_history
+    assert pooled_best == serial_best
+    assert pooled_queries == serial_queries
+
+
+@needs_fork
+def test_pool_reusable_across_batches():
+    system = SumSystem()
+    with QueryPool(system, workers=2) as pool:
+        first = pool.attack_many(batch(4, seed=1))
+        second = pool.attack_many(batch(4, seed=2))
+    assert [o.reward for o in first] == [
+        float(sum(sum(t) for t in s)) for s in batch(4, seed=1)]
+    assert [o.reward for o in second] == [
+        float(sum(sum(t) for t in s)) for s in batch(4, seed=2)]
+
+
+def test_empty_batch():
+    assert QueryPool(SumSystem(), workers=1).attack_many([]) == []
+
+
+# ----------------------------------------------------------------------
+# Crash healing
+# ----------------------------------------------------------------------
+@needs_fork
+def test_worker_crash_is_healed(tmp_path):
+    system = CrashingSystem(tmp_path / "crash", crashes=1)
+    sets = batch(5, seed=4)
+    with QueryPool(system, workers=2) as pool:
+        outcomes = pool.attack_many(sets)
+    assert pool.crashes >= 1
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in s)) for s in sets]
+    assert sum(o.retries for o in outcomes) >= 1
+
+
+@needs_fork
+def test_crash_looping_query_falls_back_to_serial():
+    system = ChildOnlyCrashSystem()
+    sets = batch(3, seed=5)
+    with QueryPool(system, workers=2, crash_retries=1) as pool:
+        outcomes = pool.attack_many(sets)
+    # Every query kills every worker, so each one must have completed
+    # in-process in the parent.
+    assert pool.serial_fallbacks == len(sets)
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in s)) for s in sets]
+
+
+# ----------------------------------------------------------------------
+# Transient errors and the retry policy
+# ----------------------------------------------------------------------
+@needs_fork
+def test_transient_error_retried_to_success(tmp_path):
+    system = FlakySystem(tmp_path / "flaky", failures=2)
+    policy = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+    sets = batch(1, seed=6)
+    with QueryPool(system, workers=2) as pool:
+        outcomes = pool.attack_many(sets, retry=policy,
+                                    rng=np.random.default_rng(0),
+                                    sleep=lambda _: None)
+    assert outcomes[0].reward == float(sum(sum(t) for t in sets[0]))
+    assert outcomes[0].retries >= 2
+
+
+@needs_fork
+def test_retries_exhausted_becomes_quarantine_outcome():
+    policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+    with QueryPool(AlwaysTransientSystem(), workers=2) as pool:
+        outcomes = pool.attack_many(batch(2), retry=policy,
+                                    rng=np.random.default_rng(0),
+                                    sleep=lambda _: None)
+    for outcome in outcomes:
+        assert outcome.reward is None
+        assert isinstance(outcome.error, RetriesExhaustedError)
+        assert outcome.error.attempts == 2
+
+
+@needs_fork
+def test_transient_error_without_policy_raises():
+    with QueryPool(AlwaysTransientSystem(), workers=2) as pool:
+        with pytest.raises(TransientEnvironmentError):
+            pool.attack_many(batch(2))
+
+
+@needs_fork
+def test_fatal_error_propagates():
+    with QueryPool(FatalSystem(), workers=2) as pool:
+        with pytest.raises(BoomError):
+            pool.attack_many(batch(2))
+
+
+def test_worker_crash_error_is_transient():
+    assert issubclass(WorkerCrashError, TransientEnvironmentError)
+
+
+def test_outcome_defaults():
+    outcome = QueryOutcome(reward=1.0)
+    assert outcome.retries == 0 and outcome.error is None

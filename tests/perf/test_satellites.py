@@ -1,0 +1,115 @@
+"""Hot-path micro-optimizations: each must be invisible to results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policy import Rollout
+from repro.core.ppo import Experience, PPOTrainer, PolicyNetwork
+from repro.core import make_action_space
+from repro.data import DatasetSpec, generate_log, leave_one_out_split
+from repro.recsys import RecommenderSystem
+
+
+def make_rollout(rng, num_attackers=3, T=4, D=2):
+    items = rng.integers(0, 20, size=(num_attackers, T))
+    return Rollout(items=items,
+                   decisions={"choice": items.copy()},
+                   log_probs=rng.normal(size=(num_attackers, T, D)),
+                   mask=np.ones((num_attackers, T, D)))
+
+
+# ----------------------------------------------------------------------
+# Rollout.trajectories() cache
+# ----------------------------------------------------------------------
+def test_trajectories_cached(rng):
+    rollout = make_rollout(rng)
+    first = rollout.trajectories()
+    assert rollout.trajectories() is first
+    assert first == [list(map(int, row)) for row in rollout.items]
+
+
+# ----------------------------------------------------------------------
+# PPO _flatten hoisted out of the full-batch epoch loop
+# ----------------------------------------------------------------------
+def make_trainer(num_attackers=3, seed=0):
+    num_items = 24
+    targets = np.arange(num_items - 4, num_items)
+    popularity = np.concatenate([np.arange(num_items - 4, 0, -1.0),
+                                 np.zeros(4)])
+    space = make_action_space("plain", num_items - 4, targets, popularity,
+                              seed=seed)
+    policy = PolicyNetwork(space, num_attackers=num_attackers, dim=8,
+                           seed=seed)
+    return policy, PPOTrainer(policy, seed=seed)
+
+
+def sample_experiences(policy, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Experience(rollout=policy.sample_rollout(4, rng),
+                       reward=float(i)) for i in range(count)]
+
+
+def count_flattens(trainer, monkeypatch):
+    calls = {"n": 0}
+    real = trainer._flatten
+
+    def counting(experiences):
+        calls["n"] += 1
+        return real(experiences)
+
+    monkeypatch.setattr(trainer, "_flatten", counting)
+    return calls
+
+
+def test_full_batch_flattens_once(monkeypatch):
+    policy, trainer = make_trainer()
+    experiences = sample_experiences(policy, 4)
+    calls = count_flattens(trainer, monkeypatch)
+    trainer.update(experiences, epochs=3, batch_size=None)
+    assert calls["n"] == 1
+    calls["n"] = 0
+    trainer.update(experiences, epochs=3, batch_size=10)  # >= len: full
+    assert calls["n"] == 1
+
+
+def test_subsampled_batches_still_flatten_per_epoch(monkeypatch):
+    policy, trainer = make_trainer()
+    experiences = sample_experiences(policy, 6)
+    calls = count_flattens(trainer, monkeypatch)
+    trainer.update(experiences, epochs=3, batch_size=2)
+    assert calls["n"] == 3
+
+
+def test_hoist_preserves_losses():
+    policy_a, trainer_a = make_trainer(seed=1)
+    policy_b, trainer_b = make_trainer(seed=1)
+    exp_a = sample_experiences(policy_a, 4, seed=2)
+    exp_b = sample_experiences(policy_b, 4, seed=2)
+    losses_full = trainer_a.update(exp_a, epochs=2, batch_size=None)
+    losses_ge = trainer_b.update(exp_b, epochs=2, batch_size=4)
+    assert losses_full == losses_ge
+
+
+# ----------------------------------------------------------------------
+# Query purity on optimizer-bearing rankers (the snapshot-RNG fix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("ranker", ["neumf", "autorec"])
+def test_repeated_attacks_are_pure(ranker):
+    spec = DatasetSpec(name="tiny", num_users=25, num_items=40,
+                       num_samples=250, num_clusters=4)
+    dataset = leave_one_out_split("tiny", generate_log(spec, seed=7))
+    system = RecommenderSystem(dataset, ranker, seed=0, num_attackers=4)
+    rng = np.random.default_rng(5)
+    first = [list(map(int, rng.integers(0, system.num_items, size=4)))
+             for _ in range(3)]
+    second = [list(map(int, rng.integers(0, system.num_items, size=4)))
+              for _ in range(3)]
+    a1 = system.attack(first)
+    b1 = system.attack(second)
+    # Re-running in any order must reproduce the same readings: each
+    # query restores parameters, optimizer moments, and the RNG stream.
+    assert system.attack(first) == a1
+    assert system.attack(second) == b1
+    assert system.attack(first) == a1
