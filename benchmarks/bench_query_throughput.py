@@ -8,7 +8,10 @@ the NeuMF testbed three ways:
   :class:`~repro.perf.QueryProfiler` attached to split each query into
   its restore / merge / retrain / score phases;
 * ``pooled`` — the same batch through a :class:`~repro.perf.QueryPool`
-  of forked replicas (``min(4, cpu_count)`` workers);
+  of forked replicas (``min(4, cpu_count)`` workers by default;
+  ``REPRO_BENCH_WORKERS`` overrides the count, e.g. to force a
+  multi-worker datapoint on a single-core runner where the extra
+  workers time-share one core);
 * the two reward vectors are asserted bit-identical (the pool's
   equivalence guarantee, measured rather than assumed).
 
@@ -67,7 +70,8 @@ def test_query_throughput(benchmark):
     scale = resolve_scale()
     smoke = os.environ.get("REPRO_SMOKE", "") == "1"
     count = 4 if smoke else {"ci": 16, "small": 32, "paper": 64}[scale.name]
-    workers = min(4, os.cpu_count() or 1)
+    workers = (int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+               or min(4, os.cpu_count() or 1))
 
     _, system, env = build_environment("steam", "neumf", scale, seed=0)
     batch = sample_trajectory_sets(env, count)

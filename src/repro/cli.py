@@ -88,7 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--steps", type=int, default=None)
 
     check = subparsers.add_parser(
-        "check", help="run the static analyzers (graphlint + shapecheck)")
+        "check", help="run the static analyzers (graphlint + shapecheck "
+                      "+ effectcheck)")
     check.add_argument("paths", nargs="*",
                        default=["src", "tests", "benchmarks"],
                        help="paths for graphlint "
@@ -224,13 +225,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """``check``: graphlint over ``paths`` plus the full shapecheck run."""
+    """``check``: graphlint over ``paths``, then shapecheck + effectcheck."""
     from .devtools import lint as graphlint
+    from .devtools.effectcheck import cli as effectcheck_cli
     from .devtools.shapecheck import cli as shapecheck_cli
     lint_code = graphlint.main(list(args.paths))
     shape_args = ["-v"] if args.verbose else []
     shape_code = shapecheck_cli.main(shape_args)
-    return max(lint_code, shape_code)
+    effect_code = effectcheck_cli.main([])
+    return max(lint_code, shape_code, effect_code)
 
 
 COMMANDS = {

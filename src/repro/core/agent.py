@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..effects import sanctioned_channel
 from ..nn.anomaly import AnomalyError, detect_anomaly
 from ..perf.pool import QueryOutcome, QueryPool
 from ..recsys.system import BlackBoxEnvironment
@@ -171,6 +172,7 @@ class PoisonRec:
             "reward_moments": self.reward_moments.state_dict(),
         }
 
+    @sanctioned_channel
     def load_state_dict(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`state_dict` in place."""
         params = list(self.policy.parameters())

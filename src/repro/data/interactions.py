@@ -13,6 +13,8 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from ..effects import mutates, sanctioned_channel
+
 
 class InteractionLog:
     """Ordered per-user click sequences over a fixed item universe.
@@ -33,6 +35,7 @@ class InteractionLog:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @mutates("_sequences")
     def add(self, user: int, item: int) -> None:
         """Append a single click to ``user``'s sequence."""
         if not 0 <= item < self.num_items:
@@ -40,6 +43,7 @@ class InteractionLog:
                 f"item {item} outside universe [0, {self.num_items})")
         self._sequences.setdefault(user, []).append(item)
 
+    @mutates("_sequences")
     def add_sequence(self, user: int, items: Sequence[int]) -> None:
         """Append an entire click sequence for ``user``."""
         for item in items:
@@ -51,6 +55,8 @@ class InteractionLog:
         clone._sequences = {u: list(seq) for u, seq in self._sequences.items()}
         return clone
 
+    @mutates("_sequences")
+    @sanctioned_channel
     def splice(self, other: "InteractionLog") -> None:
         """Graft ``other``'s sequences into this log without copying.
 
@@ -72,6 +78,8 @@ class InteractionLog:
         for user, sequence in other._sequences.items():
             self._sequences[user] = sequence
 
+    @mutates("_sequences")
+    @sanctioned_channel
     def unsplice(self, other: "InteractionLog") -> None:
         """Detach sequences previously grafted by :meth:`splice`."""
         for user in other._sequences:

@@ -1,6 +1,6 @@
 """Repo-native developer tooling: static analysis and numerical checking.
 
-Three pillars keep the reproduction trustworthy as it scales:
+Four pillars keep the reproduction trustworthy as it scales:
 
 * :mod:`repro.devtools.lint` — **graphlint**, a dependency-free AST linter
   enforcing the repo's correctness invariants (seeded randomness, no blind
@@ -13,6 +13,12 @@ Three pillars keep the reproduction trustworthy as it scales:
   forward passes on tensors with named symbolic dims and verifies the
   ``@shape_spec`` contracts declared across the stack.  Run it with
   ``python -m repro.devtools.shapecheck``.
+* :mod:`repro.devtools.effectcheck` — **effectcheck**, a
+  cross-procedural purity/effect analyzer that verifies the
+  ``@pure``/``@mutates`` contracts from :mod:`repro.effects` and the
+  snapshot/fork invariants behind the parallel query engine's bit-exact
+  guarantee (rules REP009-REP012).  Run it with
+  ``python -m repro.devtools.effectcheck``.
 * :mod:`repro.devtools.gradcheck` — the shared finite-difference gradient
   checker used by the ``repro.nn`` test-suite and by recommender-loss
   end-to-end checks.
@@ -24,10 +30,13 @@ The autograd *runtime* sanitizer lives next to the engine it instruments:
 __all__ = ["Diagnostic", "RULES", "lint_paths", "lint_source",
            "gradcheck", "gradcheck_param", "numeric_gradient",
            "ContractError", "ShapeError", "SymTensor", "checked_call",
-           "run_shapecheck", "symbolic_trace"]
+           "run_shapecheck", "symbolic_trace",
+           "analyze_package", "run_effectcheck"]
 
 _LINT_NAMES = ("Diagnostic", "RULES", "lint_paths", "lint_source")
 _GRADCHECK_NAMES = ("gradcheck", "gradcheck_param", "numeric_gradient")
+_EFFECTCHECK_NAMES = {"analyze_package": "analyze_package",
+                      "run_effectcheck": "main"}
 _SHAPECHECK_NAMES = {"ContractError": "ContractError",
                      "ShapeError": "ShapeError",
                      "SymTensor": "SymTensor",
@@ -52,4 +61,7 @@ def __getattr__(name):
     if name in _SHAPECHECK_NAMES:
         from . import shapecheck as _shapecheck
         return getattr(_shapecheck, _SHAPECHECK_NAMES[name])
+    if name in _EFFECTCHECK_NAMES:
+        from . import effectcheck as _effectcheck
+        return getattr(_effectcheck, _EFFECTCHECK_NAMES[name])
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,247 @@
+"""effectcheck CLI — static purity/effect verification for ``repro``.
+
+Usage::
+
+    python -m repro.devtools.effectcheck                 # analyze src/repro
+    python -m repro.devtools.effectcheck --rules         # describe rules
+    python -m repro.devtools.effectcheck --format=json   # machine-readable
+    python -m repro.devtools.effectcheck --self-test     # planted-mutation
+                                                         # end-to-end check
+
+A diagnostic can be silenced with a trailing comment on the offending
+line::
+
+    self._cache[key] = value  # effectcheck: disable=REP012
+
+``# effectcheck: disable`` (no rule ids) silences every rule there.
+
+``--self-test`` proves the analyzer end-to-end without executing any
+repro code: it copies the analyzed tree, plants a hidden in-place write
+inside ``ItemPop.score``, and requires the doctored copy to fail with a
+REP012 at the exact planted line — both directly and through the
+inherited ``RecommenderSystem.recommend`` call chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .index import PackageIndex
+from .rules import Diagnostic, check_all
+from .summaries import FunctionSummary, build_summaries
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*effectcheck:\s*disable(?:=(?P<ids>[A-Za-z0-9_,\s]+))?")
+
+_RULES = (
+    ("REP009", "sanctioned mutation channels",
+     "ranker/log state may only change through assign_, snapshot "
+     "restore, splice/unsplice or poison_revert"),
+    ("REP010", "snapshot coverage",
+     "state written or RNG streams drawn on the reward-query path must "
+     "be captured by RankerSnapshot, or restore breaks bit-exactness"),
+    ("REP011", "fork safety",
+     "objects shipped to QueryPool workers must not hold open handles, "
+     "locks or live generators"),
+    ("REP012", "effect contracts",
+     "@pure/@mutates declarations are verified against cross-procedural "
+     "effect summaries; protocol methods must carry one"),
+)
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory this module is installed in."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _suppressed(diag: Diagnostic,
+                sources: Dict[str, List[str]]) -> bool:
+    lines = sources.get(diag.path, [])
+    if not 0 < diag.line <= len(lines):
+        return False
+    match = _SUPPRESS_RE.search(lines[diag.line - 1])
+    if match is None:
+        return False
+    ids = match.group("ids")
+    if not ids:
+        return True
+    return diag.rule in {part.strip().upper() for part in ids.split(",")}
+
+
+def analyze_package(root: Path, package: str = "repro"
+                    ) -> Tuple[PackageIndex, Dict[str, FunctionSummary],
+                               List[Diagnostic]]:
+    """Index, summarize and rule-check one package tree."""
+    index = PackageIndex(Path(root), package)
+    summaries = build_summaries(index)
+    sources = {m.path: m.source_lines for m in index.modules.values()}
+    diagnostics = [d for d in check_all(index, summaries)
+                   if not _suppressed(d, sources)]
+    return index, summaries, diagnostics
+
+
+def _display_path(path: str) -> str:
+    try:
+        return str(Path(path).resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return path
+
+
+def _render_text(diagnostics: Sequence[Diagnostic]) -> None:
+    for diag in diagnostics:
+        print(f"{_display_path(diag.path)}:{diag.line}: "
+              f"{diag.rule} {diag.message}")
+        for depth, frame in enumerate(diag.chain):
+            arrow = "via" if depth == 0 else " ->"
+            print(f"    {arrow} {frame}")
+
+
+def rule_statistics(diagnostics: Sequence[Diagnostic]) -> dict:
+    """Diagnostic counts per rule id, covering every rule."""
+    counts = {rule_id: 0 for rule_id, _, _ in _RULES}
+    for diag in diagnostics:
+        counts[diag.rule] = counts.get(diag.rule, 0) + 1
+    return counts
+
+
+def _render_json(diagnostics: Sequence[Diagnostic],
+                 index: PackageIndex) -> str:
+    payload = {
+        "diagnostics": [{"path": _display_path(d.path), "line": d.line,
+                         "rule": d.rule, "message": d.message,
+                         "chain": list(d.chain)}
+                        for d in diagnostics],
+        "modules_checked": len(index.modules),
+        "functions_summarized": len(index.functions),
+        "statistics": rule_statistics(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Planted-mutation self-test
+# ----------------------------------------------------------------------
+def _plant_mutation(root: Path) -> Tuple[Path, int]:
+    """Insert a hidden in-place write into ``ItemPop.score``.
+
+    Returns the doctored file and the 1-based line of the planted write.
+    """
+    import ast
+
+    target = root / "recsys" / "itempop.py"
+    source = target.read_text(encoding="utf-8")
+    tree = ast.parse(source)
+    score: Optional[ast.FunctionDef] = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "ItemPop":
+            for child in node.body:
+                if isinstance(child, ast.FunctionDef) \
+                        and child.name == "score":
+                    score = child
+    if score is None:
+        raise RuntimeError("self-test: ItemPop.score not found")
+    anchor = score.body[-1].lineno  # plant just before the return
+    lines = source.splitlines(keepends=True)
+    indent = " " * score.body[-1].col_offset
+    lines.insert(anchor - 1, f"{indent}self.counts[0] += 1.0\n")
+    target.write_text("".join(lines), encoding="utf-8")
+    return target, anchor
+
+
+def run_self_test() -> int:
+    """Copy the tree, plant a mutation, require exact-line detection."""
+    source_root = default_root()
+    with tempfile.TemporaryDirectory(prefix="effectcheck-") as scratch:
+        copy_root = Path(scratch) / "repro"
+        shutil.copytree(source_root, copy_root,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        planted_path, planted_line = _plant_mutation(copy_root)
+        _, _, diagnostics = analyze_package(copy_root)
+        at_plant = [d for d in diagnostics
+                    if d.path == str(planted_path)
+                    and d.line == planted_line and d.rule == "REP012"]
+        direct = [d for d in at_plant
+                  if not d.chain and "counts" in d.message]
+        chained = [d for d in at_plant
+                   if any("recommend" in frame for frame in d.chain)]
+        if direct and chained:
+            print("effectcheck --self-test: planted mutation in "
+                  f"ItemPop.score caught at itempop.py:{planted_line} "
+                  f"({len(at_plant)} diagnostics, call chain through "
+                  "RecommenderSystem.recommend)", file=sys.stderr)
+            return 0
+        print("effectcheck --self-test: FAILED — planted mutation at "
+              f"itempop.py:{planted_line} not fully detected "
+              f"(direct={len(direct)}, chained={len(chained)})",
+              file=sys.stderr)
+        _render_text(at_plant)
+        return 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.effectcheck",
+        description="effectcheck: cross-procedural purity/effect "
+                    "verification")
+    parser.add_argument("--root", default=None,
+                        help="package directory to analyze "
+                             "(default: the installed repro package)")
+    parser.add_argument("--package", default="repro",
+                        help="dotted package name of --root")
+    parser.add_argument("--rules", action="store_true",
+                        help="describe every rule and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (json suppresses the human "
+                             "report; exit codes are unchanged)")
+    parser.add_argument("--statistics", action="store_true",
+                        help="print per-rule diagnostic counts")
+    parser.add_argument("--self-test", action="store_true",
+                        help="plant a hidden mutation in a copy of the "
+                             "source and require exact-line detection")
+    args = parser.parse_args(argv)
+    if args.rules:
+        for rule_id, title, rationale in _RULES:
+            print(f"{rule_id}  {title}")
+            print(f"        {rationale}")
+        return 0
+    if args.self_test:
+        return run_self_test()
+    root = Path(args.root) if args.root else default_root()
+    if not root.is_dir():
+        print(f"effectcheck: no such directory: {root}", file=sys.stderr)
+        return 2
+    index, summaries, diagnostics = analyze_package(root, args.package)
+    if index.errors:
+        for error in index.errors:
+            print(f"effectcheck: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_render_json(diagnostics, index))
+        return 1 if diagnostics else 0
+    _render_text(diagnostics)
+    if args.statistics:
+        for rule_id, count in sorted(rule_statistics(diagnostics).items()):
+            print(f"{rule_id}  {count}")
+    if diagnostics:
+        files = len({d.path for d in diagnostics})
+        print(f"effectcheck: {len(diagnostics)} error(s) in {files} "
+              f"file(s) ({len(index.modules)} modules, "
+              f"{len(index.functions)} functions)", file=sys.stderr)
+        return 1
+    print(f"effectcheck: clean ({len(index.modules)} modules, "
+          f"{len(index.functions)} functions summarized)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,11 +103,11 @@ def gradcheck_param(loss_fn: Callable[[], Tensor], param: Tensor,
         for idx in indices:
             probe = base.copy()
             probe[idx] += eps
-            param.data = probe
+            param.assign_(probe, copy=False)
             up = float(_scalar(loss_fn()).data.sum())
             probe = base.copy()
             probe[idx] -= eps
-            param.data = probe
+            param.assign_(probe, copy=False)
             down = float(_scalar(loss_fn()).data.sum())
             numeric = (up - down) / (2.0 * eps)
             err = abs(float(analytic[idx]) - numeric)
@@ -118,5 +118,5 @@ def gradcheck_param(loss_fn: Callable[[], Tensor], param: Tensor,
                     f"analytic={float(analytic[idx]):.8g}, "
                     f"numeric={numeric:.8g}, |diff|={err:.3g}")
     finally:
-        param.data = base
+        param.assign_(base, copy=False)
         param.zero_grad()

@@ -56,12 +56,12 @@ _ALLOWED_NP_RANDOM = frozenset({
 })
 
 #: Modules allowed to assign to ``.data`` / ``.grad`` attributes: the
-#: optimizers (parameter updates are their whole job), the engine itself,
-#: and the finite-difference checker (which must perturb parameters).
+#: optimizers (parameter updates are their whole job) and the engine
+#: itself.  Everything else — including the finite-difference checker's
+#: parameter perturbations — funnels through ``Tensor.assign_``.
 _REP003_WHITELIST = (
     "repro/nn/optim.py",
     "repro/nn/tensor.py",
-    "repro/devtools/gradcheck.py",
 )
 
 _SUPPRESS_RE = re.compile(

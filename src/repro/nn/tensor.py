@@ -23,6 +23,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..effects import sanctioned_channel
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _FLOAT = np.float64
@@ -130,6 +132,7 @@ class Tensor:
         """Reset the accumulated gradient."""
         self.grad = None
 
+    @sanctioned_channel
     def assign_(self, data: ArrayLike, copy: bool = True) -> "Tensor":
         """Replace the underlying array in place (sanctioned mutation).
 

@@ -18,6 +18,7 @@ from typing import Any, Dict, Set
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn import Adam, Dense, Module, Tensor, shape_spec
 from ..nn import functional as F
 from .base import Ranker
@@ -89,6 +90,7 @@ class AutoRec(Ranker):
                 self.optimizer.step()
 
     # ------------------------------------------------------------------
+    @mutates("rng", "net", "optimizer", "_user_items")
     def fit(self, log: InteractionLog) -> None:
         self.rng = np.random.default_rng(self.seed)
         self._build()
@@ -96,6 +98,7 @@ class AutoRec(Ranker):
         self._train(np.fromiter(self._user_items, dtype=np.int64),
                     self.epochs)
 
+    @mutates("rng", "net", "optimizer", "_user_items")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         self._user_items = self._profiles_from(log)
@@ -115,11 +118,13 @@ class AutoRec(Ranker):
         """Decoder output rows for ``users`` (score source)."""
         return self.net(Tensor(self._rows(users))).numpy()
 
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         recon = self._reconstruct(np.array([user]))[0]
         return recon[np.asarray(item_ids, dtype=np.int64)]
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -130,6 +135,7 @@ class AutoRec(Ranker):
         return {"params": [p.data for p in self.net.parameters()],
                 "profiles": self._user_items}
 
+    @sanctioned_channel
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state["params"]):
             param.assign_(data, copy=False)

@@ -16,6 +16,7 @@ from typing import Any, ClassVar, Optional
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn.spec import shape_spec
 from .snapshots import RankerSnapshot, thaw_into
 
@@ -59,6 +60,7 @@ class Ranker(abc.ABC):
     def fit(self, log: InteractionLog) -> None:
         """Train from scratch on ``log``."""
 
+    @mutates("*")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         """Update an already-fit model after poison injection.
@@ -70,6 +72,8 @@ class Ranker(abc.ABC):
         """
         self.fit(log)
 
+    @mutates("*")
+    @sanctioned_channel
     def poison_revert(self, poison: InteractionLog) -> None:
         """Exactly undo the most recent ``poison_update``.
 
@@ -85,11 +89,13 @@ class Ranker(abc.ABC):
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     @abc.abstractmethod
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         """Preference scores for ``user`` over ``item_ids`` (higher=better)."""
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -104,6 +110,7 @@ class Ranker(abc.ABC):
     # ------------------------------------------------------------------
     # State management (for the reload-and-poison loop)
     # ------------------------------------------------------------------
+    @pure
     def snapshot(self) -> RankerSnapshot:
         """Capture the trained state; restorable via :meth:`restore`.
 
@@ -115,6 +122,8 @@ class Ranker(abc.ABC):
         """
         return RankerSnapshot.capture(self)
 
+    @mutates("*")
+    @sanctioned_channel
     def restore(self, state: Any) -> None:
         """Restore a state captured by :meth:`snapshot`.
 

@@ -12,6 +12,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn.spec import shape_spec
 from .base import Ranker, sample_negatives
 from .pmf import _apply_accumulated
@@ -60,6 +61,7 @@ class BPR(Ranker):
                                 np.concatenate([grad_i, grad_j]), self.lr)
 
     # ------------------------------------------------------------------
+    @mutates("user_factors", "item_factors", "rng")
     def fit(self, log: InteractionLog) -> None:
         self.user_factors = self.rng.normal(0, 0.05, (self.num_users, self.dim))
         self.item_factors = self.rng.normal(0, 0.05, (self.num_items, self.dim))
@@ -67,6 +69,7 @@ class BPR(Ranker):
         if len(pairs):
             self._sgd_epochs(pairs[:, 0], pairs[:, 1], self.epochs)
 
+    @mutates("user_factors", "item_factors", "rng")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         p_pairs = poison.pairs()
@@ -84,11 +87,13 @@ class BPR(Ranker):
             self._sgd_epochs(pairs[:, 0], pairs[:, 1], self.update_epochs)
 
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         return self.item_factors[item_ids] @ self.user_factors[user]
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -102,6 +107,7 @@ class BPR(Ranker):
     def _state(self) -> Dict[str, np.ndarray]:
         return {"user": self.user_factors, "item": self.item_factors}
 
+    @sanctioned_channel
     def _set_state(self, state: Dict[str, np.ndarray]) -> None:
         self.user_factors = state["user"]
         self.item_factors = state["item"]

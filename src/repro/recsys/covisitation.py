@@ -15,6 +15,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn.spec import shape_spec
 from .base import Ranker
 
@@ -49,17 +50,21 @@ class CoVisitation(Ranker):
                 history.append(item)
                 prev = item
 
+    @mutates("covisits", "out_degree", "_histories")
     def fit(self, log: InteractionLog) -> None:
         self.covisits = defaultdict(dict)
         self.out_degree = np.zeros(self.num_items, dtype=np.float64)
         self._histories = {}
         self._add_edges(log)
 
+    @mutates("covisits", "out_degree", "_histories")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         # Edges are additive; only the poison sequences add new ones.
         self._add_edges(poison)
 
+    @mutates("covisits", "out_degree", "_histories")
+    @sanctioned_channel
     def poison_revert(self, poison: InteractionLog) -> None:
         """Exactly undo :meth:`poison_update` for the same ``poison`` log.
 
@@ -98,6 +103,7 @@ class CoVisitation(Ranker):
             self.out_degree[src] -= 1.0
 
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
@@ -117,6 +123,7 @@ class CoVisitation(Ranker):
     def _state(self) -> tuple:
         return (self.covisits, self.out_degree, self._histories)
 
+    @sanctioned_channel
     def _set_state(self, state: tuple) -> None:
         self.covisits, self.out_degree, self._histories = state
         if not isinstance(self.covisits, defaultdict):

@@ -14,6 +14,7 @@ from typing import Any, List
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn import Adam, Embedding, GRUCell, Module, Tensor, shape_spec
 from ..nn import functional as F
 from .base import Ranker
@@ -108,12 +109,14 @@ class GRU4Rec(Ranker):
                 self.optimizer.step()
 
     # ------------------------------------------------------------------
+    @mutates("rng", "net", "optimizer", "_histories")
     def fit(self, log: InteractionLog) -> None:
         self.rng = np.random.default_rng(self.seed)
         self._build()
         self._histories = {u: seq for u, seq in log.iter_sequences()}
         self._train(*self._training_examples(log), epochs=self.epochs)
 
+    @mutates("rng", "net", "optimizer", "_histories")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         for user, seq in poison.iter_sequences():
@@ -143,11 +146,13 @@ class GRU4Rec(Ranker):
         self._train(windows, targets, epochs=self.update_epochs)
 
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         return self.score_batch(np.array([user]),
                                 np.asarray(item_ids)[None, :])[0]
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -165,6 +170,7 @@ class GRU4Rec(Ranker):
         return {"params": [p.data for p in self.net.parameters()],
                 "histories": self._histories}
 
+    @sanctioned_channel
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state["params"]):
             param.assign_(data, copy=False)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn.spec import shape_spec
 from .base import Ranker
 
@@ -24,24 +25,30 @@ class ItemPop(Ranker):
         super().__init__(num_users, num_items, seed)
         self.counts = np.zeros(num_items, dtype=np.float64)
 
+    @mutates("counts")
     def fit(self, log: InteractionLog) -> None:
         self.counts = log.item_counts().astype(np.float64)
 
+    @mutates("counts")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         # Popularity is additive, so the update is just the poison counts
         # (applied in place: the clean buffer is reused query after query).
         self.counts += poison.item_counts()
 
+    @mutates("counts")
+    @sanctioned_channel
     def poison_revert(self, poison: InteractionLog) -> None:
         # Counts are integers stored as float64, so subtracting the same
         # poison counts restores the clean array bit-exactly.
         self.counts -= poison.item_counts()
 
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         return self.counts[np.asarray(item_ids, dtype=np.int64)]
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -50,5 +57,6 @@ class ItemPop(Ranker):
     def _state(self) -> np.ndarray:
         return self.counts
 
+    @sanctioned_channel
     def _set_state(self, state: np.ndarray) -> None:
         self.counts = state

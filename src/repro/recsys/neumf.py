@@ -13,6 +13,7 @@ from typing import Any
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn import (Adam, Dense, Embedding, MLP, Module, Tensor,
                   concatenate, shape_spec)
 from ..nn import functional as F
@@ -95,11 +96,13 @@ class NeuMF(Ranker):
                 self.optimizer.step()
 
     # ------------------------------------------------------------------
+    @mutates("rng", "net", "optimizer")
     def fit(self, log: InteractionLog) -> None:
         self.rng = np.random.default_rng(self.seed)
         self._build()
         self._train(*self._examples(log), epochs=self.epochs)
 
+    @mutates("rng", "net", "optimizer")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         p_users, p_items, p_labels = self._examples(poison)
@@ -121,12 +124,14 @@ class NeuMF(Ranker):
         self._train(users, items, labels, epochs=self.update_epochs)
 
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         users = np.full(len(item_ids), user, dtype=np.int64)
         return self.net.logits(users, item_ids).numpy()
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -141,6 +146,7 @@ class NeuMF(Ranker):
     def _state(self) -> Any:
         return [p.data for p in self.net.parameters()]
 
+    @sanctioned_channel
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state):
             param.assign_(data, copy=False)

@@ -18,6 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn import Adam, Module, Tensor, concatenate, shape_spec
 from ..nn import functional as F
 from ..nn.init import xavier_uniform
@@ -71,7 +72,11 @@ class NGCF(Ranker):
         self._build()
         self._adjacency = sp.csr_matrix(
             (num_users + num_items, num_users + num_items))
-        self._final: np.ndarray | None = None
+        # ``_final`` is maintained eagerly (here, after every ``_train``
+        # and by snapshot restore) so the score path never writes state —
+        # a lazily cached representation would make ``score`` impure and
+        # break the @pure contract effectcheck verifies.
+        self._refresh_final()
 
     def _build(self) -> None:
         self.net = _NGCFNet(self.num_users + self.num_items, self.dim,
@@ -100,6 +105,7 @@ class NGCF(Ranker):
 
     def _train(self, pairs: np.ndarray, epochs: int) -> None:
         if len(pairs) == 0:
+            self._refresh_final()
             return
         for _ in range(epochs):
             for _ in range(self.batches_per_epoch):
@@ -127,12 +133,14 @@ class NGCF(Ranker):
         self._final = self.net.propagate(self._adjacency).numpy()
 
     # ------------------------------------------------------------------
+    @mutates("rng", "net", "optimizer", "_adjacency", "_final")
     def fit(self, log: InteractionLog) -> None:
         self.rng = np.random.default_rng(self.seed)
         self._build()
         self._adjacency = self._build_adjacency(log)
         self._train(log.pairs(), self.epochs)
 
+    @mutates("rng", "net", "optimizer", "_adjacency", "_final")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         self._adjacency = self._build_adjacency(log)
@@ -150,31 +158,28 @@ class NGCF(Ranker):
         self._train(pairs, self.update_epochs)
 
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
-        if self._final is None:
-            self._refresh_final()
         item_ids = np.asarray(item_ids, dtype=np.int64)
         return self._final[item_ids + self.num_users] @ self._final[user]
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
-        if self._final is None:
-            self._refresh_final()
         user_repr = self._final[users]
         item_repr = self._final[candidates + self.num_users]
         return np.einsum("nd,ncd->nc", user_repr, item_repr)
 
     def item_embeddings(self) -> np.ndarray:
-        if self._final is None:
-            self._refresh_final()
         return self._final[self.num_users:].copy()
 
     def _state(self) -> Any:
         return {"params": [p.data for p in self.net.parameters()],
                 "adjacency": self._adjacency, "final": self._final}
 
+    @sanctioned_channel
     def _set_state(self, state: Any) -> None:
         for param, data in zip(self.net.parameters(), state["params"]):
             param.assign_(data, copy=False)

@@ -13,6 +13,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..effects import mutates, pure, sanctioned_channel
 from ..nn.spec import shape_spec
 from .base import Ranker, sample_negatives
 
@@ -94,12 +95,14 @@ class PMF(Ranker):
                 _apply_accumulated(self.item_factors, i, grad_i, self.lr)
 
     # ------------------------------------------------------------------
+    @mutates("user_factors", "item_factors", "rng")
     def fit(self, log: InteractionLog) -> None:
         self.user_factors = self.rng.normal(0, 0.05, (self.num_users, self.dim))
         self.item_factors = self.rng.normal(0, 0.05, (self.num_items, self.dim))
         users, items, ratings = self._training_triples(log)
         self._sgd_epochs(users, items, ratings, self.epochs)
 
+    @mutates("user_factors", "item_factors", "rng")
     def poison_update(self, log: InteractionLog,
                       poison: InteractionLog) -> None:
         # Fine-tune on poison data plus a replay sample of the merged log,
@@ -119,11 +122,13 @@ class PMF(Ranker):
         self._sgd_epochs(users, items, ratings, self.update_epochs)
 
     # ------------------------------------------------------------------
+    @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         return self.item_factors[item_ids] @ self.user_factors[user]
 
+    @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
@@ -137,6 +142,7 @@ class PMF(Ranker):
     def _state(self) -> Dict[str, np.ndarray]:
         return {"user": self.user_factors, "item": self.item_factors}
 
+    @sanctioned_channel
     def _set_state(self, state: Dict[str, np.ndarray]) -> None:
         self.user_factors = state["user"]
         self.item_factors = state["item"]

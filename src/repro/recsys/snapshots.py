@@ -31,6 +31,8 @@ from typing import Any
 
 import numpy as np
 
+from ..effects import pure
+
 
 class SnapshotMismatchError(RuntimeError):
     """An incremental poison revert failed to reproduce the clean state.
@@ -57,6 +59,7 @@ class RankerSnapshot:
         self.rng_state = rng_state
 
     @classmethod
+    @pure
     def capture(cls, ranker: Any) -> "RankerSnapshot":
         """Freeze ``ranker``'s current trained state and RNG stream."""
         return cls(state=freeze(ranker._state()),

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data.interactions import Dataset, InteractionLog
+from ..effects import pure
 from .base import Ranker
 from .candidate import (CandidateGenerator, PopularityCandidateGenerator,
                         RandomCandidateGenerator)
@@ -150,17 +151,20 @@ class RecommenderSystem:
     # ------------------------------------------------------------------
     # Recommendation + measurement
     # ------------------------------------------------------------------
+    @pure
     def recommend(self) -> np.ndarray:
         """Top-k candidate item ids per evaluation user."""
         scores = self.ranker.score_batch(self.eval_users, self.candidates)
         top = np.argpartition(-scores, self.top_k - 1, axis=1)[:, :self.top_k]
         return np.take_along_axis(self.candidates, top, axis=1)
 
+    @pure
     def recnum(self) -> int:
         """The paper's RecNum: total target-item slots across all top-k lists."""
         recommended = self.recommend()
         return int((recommended >= self.num_original_items).sum())
 
+    @pure
     def target_exposures(self) -> np.ndarray:
         """Per-target exposure counts (RecNum broken down by target item).
 

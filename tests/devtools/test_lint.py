@@ -88,11 +88,17 @@ class TestREP003TensorMutation:
     @pytest.mark.parametrize("path", [
         "src/repro/nn/optim.py",
         "src/repro/nn/tensor.py",
-        "src/repro/devtools/gradcheck.py",
     ])
     def test_sanctioned_modules_exempt(self, path):
         source = '"""Doc."""\nt.data = arr\n'
         assert lint_source(source, path) == []
+
+    def test_gradcheck_no_longer_exempt(self):
+        # gradcheck perturbations now flow through Tensor.assign_, so the
+        # module lost its REP003 whitelist entry.
+        source = '"""Doc."""\nt.data = arr\n'
+        diags = lint_source(source, "src/repro/devtools/gradcheck.py")
+        assert rules_of(diags) == ["REP003"]
 
 
 class TestREP004DtypeLiteral:

@@ -1,0 +1,79 @@
+"""Stacked poison injections: two injects before any revert.
+
+``RecommenderSystem.inject`` supports stacking — calling it twice
+without an intervening ``reset()``.  Once stacked, there is no single
+"active poison" whose incremental revert could undo both updates, so
+``reset()`` must fall back to the full snapshot restore and still land
+bit-exactly on the clean state.  These tests pin that behavior for the
+two rankers that advertise ``supports_incremental_revert`` (ItemPop,
+CoVisitation), where an incorrect incremental shortcut would silently
+corrupt state instead of raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.recsys import RecommenderSystem
+from repro.recsys.snapshots import freeze, states_equal
+
+
+RANKERS = ["itempop", "covisitation"]
+
+
+def _make_system(tiny_dataset, ranker_name):
+    return RecommenderSystem(tiny_dataset, ranker_name, seed=0,
+                             num_attackers=6)
+
+
+def _flood(system, length, count):
+    target = int(system.target_items[0])
+    return [[target] * length for _ in range(count)]
+
+
+@pytest.mark.parametrize("ranker_name", RANKERS)
+def test_stacked_injects_clear_active_poison(tiny_dataset, ranker_name):
+    system = _make_system(tiny_dataset, ranker_name)
+    system.inject(_flood(system, 5, 3))
+    assert system._active_poison is not None  # single inject: revertible
+    system.inject(_flood(system, 7, 2))
+    # Two stacked injects: no single poison log can revert both updates.
+    assert system._active_poison is None
+    assert system._poisoned
+
+
+@pytest.mark.parametrize("ranker_name", RANKERS)
+def test_stacked_reset_is_bit_equal_to_clean_snapshot(tiny_dataset,
+                                                      ranker_name):
+    system = _make_system(tiny_dataset, ranker_name)
+    # freeze() deep-copies: ``_state()`` returns live buffers that the
+    # injections below mutate in place.
+    clean = freeze(system.ranker._state())
+    system.inject(_flood(system, 5, 3))
+    system.inject(_flood(system, 7, 2))
+    assert not states_equal(system.ranker._state(), clean)
+    system.reset()  # must take the full-restore path, not incremental
+    assert states_equal(system.ranker._state(), clean)
+    assert not system._poisoned
+
+
+@pytest.mark.parametrize("ranker_name", RANKERS)
+def test_stacked_reset_matches_fresh_refit(tiny_dataset, ranker_name):
+    system = _make_system(tiny_dataset, ranker_name)
+    system.inject(_flood(system, 5, 3))
+    system.inject(_flood(system, 7, 2))
+    system.reset()
+    fresh = _make_system(tiny_dataset, ranker_name)
+    assert states_equal(system.ranker._state(), fresh.ranker._state())
+    np.testing.assert_array_equal(system.recommend(), fresh.recommend())
+
+
+@pytest.mark.parametrize("ranker_name", RANKERS)
+def test_attack_after_stacked_injects_equals_fresh_attack(tiny_dataset,
+                                                          ranker_name):
+    system = _make_system(tiny_dataset, ranker_name)
+    system.inject(_flood(system, 5, 3))
+    system.inject(_flood(system, 7, 2))
+    probe = _flood(system, 9, 4)
+    stacked_then_attack = system.attack(probe)
+    fresh = _make_system(tiny_dataset, ranker_name)
+    assert stacked_then_attack == fresh.attack(probe)
