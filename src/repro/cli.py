@@ -9,11 +9,14 @@ Usage (after ``pip install -e .``)::
     python -m repro attack --method poisonrec --chaos 0.1 \
         --checkpoint campaign.npz --resume
     python -m repro compare --dataset steam --ranker covisitation
+    python -m repro submit --dir fleet --name pmf-probe --ranker pmf
+    python -m repro serve --dir fleet --resume --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -25,7 +28,10 @@ from .experiments import SCALES, build_environment, format_table, run_baseline
 from .recsys import RANKER_NAMES
 from .recsys.evaluation import evaluate_ranking, random_baseline_quality
 from .runtime import (FaultPlan, FaultyEnvironment, ResilienceConfig,
-                      RetryPolicy, as_npz_path)
+                      RetryPolicy, WorkerFaultPlan, as_npz_path)
+from .serve import (DEFAULT_ACTION_SPACES, DEFAULT_RANKERS, CampaignScheduler,
+                    CampaignSpec, FleetTelemetry, SchedulerJournal,
+                    grid_specs, replay)
 
 METHOD_CHOICES = tuple(BASELINE_CLASSES) + ("poisonrec",)
 ACTION_SPACE_CHOICES = ("plain", "bplain", "bcbt-popular", "bcbt-random")
@@ -87,6 +93,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_testbed_arguments(compare)
     compare.add_argument("--steps", type=int, default=None)
 
+    submit = subparsers.add_parser(
+        "submit", help="queue one campaign in a fleet directory")
+    submit.add_argument("--dir", required=True, metavar="FLEET",
+                        help="fleet directory (journal + checkpoints)")
+    submit.add_argument("--name", required=True,
+                        help="unique campaign name")
+    _add_testbed_arguments(submit)
+    submit.add_argument("--action-space", choices=ACTION_SPACE_CHOICES,
+                        default="bcbt-popular")
+    submit.add_argument("--steps", type=int, default=None,
+                        help="training steps (default: per scale)")
+    submit.add_argument("--priority", type=float, default=1.0,
+                        help="fair-share weight (default: 1.0)")
+    submit.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                        help="retryable fault injection rate for this "
+                             "campaign's environment")
+
+    serve = subparsers.add_parser(
+        "serve", help="run a supervised fleet of campaigns over one "
+                      "shared worker pool")
+    serve.add_argument("--dir", required=True, metavar="FLEET",
+                       help="fleet directory (journal + checkpoints)")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the fleet journal first (continue "
+                            "submitted/interrupted campaigns)")
+    serve.add_argument("--grid", action="store_true",
+                       help="submit the ranker x action-space grid "
+                            "(Table-2/3 client)")
+    serve.add_argument("--rankers", nargs="+", choices=RANKER_NAMES,
+                       default=list(DEFAULT_RANKERS), metavar="RANKER",
+                       help="grid rankers (with --grid)")
+    serve.add_argument("--action-spaces", nargs="+",
+                       choices=ACTION_SPACE_CHOICES,
+                       default=list(DEFAULT_ACTION_SPACES), metavar="SPACE",
+                       help="grid action spaces (with --grid)")
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="steam")
+    serve.add_argument("--scale", choices=tuple(SCALES), default="ci")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--steps", type=int, default=None,
+                       help="per-campaign steps for --grid "
+                            "(default: per scale)")
+    serve.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                       help="per-campaign environment fault rate for "
+                            "--grid campaigns")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker fleet size (1 = in-process serial)")
+    serve.add_argument("--slice-steps", type=int, default=2, metavar="K",
+                       help="steps per campaign scheduling turn "
+                            "(default: 2)")
+    serve.add_argument("--stall-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-query worker heartbeat deadline")
+    serve.add_argument("--worker-kills", type=float, default=0.0,
+                       metavar="RATE",
+                       help="seeded worker-kill injection rate "
+                            "(fleet chaos)")
+    serve.add_argument("--worker-stalls", type=float, default=0.0,
+                       metavar="RATE",
+                       help="seeded worker-stall injection rate "
+                            "(fleet chaos)")
+
     check = subparsers.add_parser(
         "check", help="run the static analyzers (graphlint + shapecheck "
                       "+ effectcheck)")
@@ -130,13 +197,6 @@ def cmd_attack(args: argparse.Namespace) -> int:
         return 2
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
-        return 2
-    if args.workers > 1 and args.chaos > 0.0:
-        # The chaos fault schedule lives in the parent's RNG; forked
-        # replicas would each replay it, changing the injected-fault
-        # sequence versus the serial run.
-        print("error: --workers > 1 cannot be combined with --chaos",
-              file=sys.stderr)
         return 2
     scale = SCALES[args.scale]
     _, system, env = build_environment(args.dataset, args.ranker, scale,
@@ -193,8 +253,15 @@ def cmd_attack(args: argparse.Namespace) -> int:
                   f"{sum(s.quarantined for s in history)} rollbacks="
                   f"{history[-1].rollbacks if history else 0}")
         if chaos is not None:
-            print(f"chaos: injected={chaos.injected} "
-                  f"(served queries: {chaos.query_count})")
+            if args.workers > 1:
+                # Fault schedules are pure functions of query content,
+                # so injection happens inside the forked replicas; the
+                # parent wrapper only sees serial-fallback traffic.
+                print("chaos: content-keyed fault schedule active in "
+                      f"{args.workers} worker replicas")
+            else:
+                print(f"chaos: injected={chaos.injected} "
+                      f"(served queries: {chaos.query_count})")
         if args.checkpoint:
             print(f"campaign checkpoint: {as_npz_path(args.checkpoint)}")
     else:
@@ -224,6 +291,85 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``submit``: append one campaign to a fleet journal."""
+    try:
+        spec = CampaignSpec(
+            name=args.name, dataset=args.dataset, ranker=args.ranker,
+            action_space=args.action_space, scale=args.scale,
+            seed=args.seed, steps=args.steps, priority=args.priority,
+            chaos_rate=args.chaos)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    journal_path = pathlib.Path(args.dir) / "journal.jsonl"
+    if journal_path.exists():
+        if spec.name in replay(journal_path).campaigns:
+            print(f"error: campaign {spec.name!r} already exists in "
+                  f"{args.dir}", file=sys.stderr)
+            return 2
+    with SchedulerJournal(journal_path) as journal:
+        journal.append({"event": "submit", "name": spec.name,
+                        "spec": spec.to_json()})
+    print(f"submitted campaign {spec.name!r} "
+          f"({spec.dataset}/{spec.ranker}/{spec.action_space}, "
+          f"scale {spec.scale}) to {args.dir}")
+    print(f"run the fleet with: repro serve --dir {args.dir} --resume")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: drive a supervised campaign fleet to completion."""
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    worker_chaos = None
+    if args.worker_kills > 0.0 or args.worker_stalls > 0.0:
+        worker_chaos = WorkerFaultPlan(kill_rate=args.worker_kills,
+                                       stall_rate=args.worker_stalls,
+                                       seed=args.seed)
+    scheduler = CampaignScheduler(
+        args.dir, workers=args.workers, slice_steps=args.slice_steps,
+        stall_timeout=args.stall_timeout, worker_chaos=worker_chaos,
+        telemetry=FleetTelemetry(stream=sys.stdout))
+    if args.resume:
+        scheduler.resume()
+    if args.grid:
+        for spec in grid_specs(rankers=args.rankers,
+                               action_spaces=args.action_spaces,
+                               dataset=args.dataset, scale=args.scale,
+                               steps=args.steps, seed=args.seed,
+                               chaos_rate=args.chaos):
+            if spec.name not in scheduler.records:
+                scheduler.submit(spec)
+    if not scheduler.records:
+        print("error: nothing to serve (use --grid, --resume, or "
+              "repro submit first)", file=sys.stderr)
+        return 2
+    print(f"fleet: {len(scheduler.records)} campaign(s), "
+          f"{args.workers} worker(s), slice={args.slice_steps} step(s)")
+    result = scheduler.run(handle_signals=True)
+    print(scheduler.telemetry.render_table(result.records))
+    totals = scheduler.telemetry.phase_totals()
+    if totals:
+        print("query phases (parent-side): " + "  ".join(
+            f"{phase}={seconds:.2f}s"
+            for phase, seconds in sorted(totals.items())))
+    if result.pool_crashes or result.serial_fallbacks:
+        print(f"fleet healed {result.pool_crashes} worker crash(es), "
+              f"{result.serial_fallbacks} serial fallback(s); final tier: "
+              f"{result.tier}")
+    if result.drained:
+        print("fleet drained cleanly; resume with: "
+              f"repro serve --dir {args.dir} --resume")
+        return 0
+    if result.failed:
+        print(f"failed campaign(s): {', '.join(sorted(result.failed))}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """``check``: graphlint over ``paths``, then shapecheck + effectcheck."""
     from .devtools import lint as graphlint
@@ -241,6 +387,8 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "attack": cmd_attack,
     "compare": cmd_compare,
+    "submit": cmd_submit,
+    "serve": cmd_serve,
     "check": cmd_check,
 }
 

@@ -41,21 +41,43 @@ quarantinable :class:`~repro.runtime.errors.RetriesExhaustedError`
 outcome, mirroring ``repro.runtime``'s serial retry/quarantine path.
 If worker processes cannot be (re)spawned at all, the pool degrades
 permanently to serial mode rather than failing the campaign.
+
+Three refinements keep pooled chaos campaigns bit-identical to serial:
+
+* errors tagged ``replica_safe`` (injected by
+  :class:`~repro.runtime.faults.FaultyEnvironment`) leave the worker
+  alive — no recycle, no crash count — because the replica was never
+  touched;
+* retries of a failed query are *pinned* to the worker that failed it,
+  so the replica's per-query occurrence counters advance exactly as
+  the serial wrapper's would;
+* when a retry policy is supplied, non-finite rewards are rejected as
+  :class:`~repro.runtime.errors.CorruptRewardError` and retried — the
+  same guard ``PoisonRec`` applies on its serial path.
+
+``stall_timeout`` arms a heartbeat: a worker that holds one query
+longer than the deadline is presumed hung, killed, and its query
+re-issued.  ``chaos`` takes a
+:class:`~repro.runtime.faults.WorkerFaultPlan` whose seeded kill/stall
+directives ride along with dispatched queries — fleet-level fault
+injection for soak tests, exercising exactly the healing paths above.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import time
-from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..runtime.errors import (RetriesExhaustedError,
+from ..runtime.errors import (CorruptRewardError, RetriesExhaustedError,
                               TransientEnvironmentError)
+from ..runtime.faults import WorkerFaultPlan
 from ..runtime.retry import RetryPolicy, call_with_retry
 
 #: How long one scheduler wait blocks before re-checking worker liveness.
@@ -85,11 +107,27 @@ class QueryOutcome:
 def _worker_main(system, conn) -> None:
     """Child-process loop: serve attack queries until the stop sentinel.
 
-    Replies ``(index, reward, None)`` per query.  On any query failure
-    the worker ships ``(index, None, error)`` back to the parent and
-    exits — a worker never serves queries from a possibly corrupted
-    replica; the parent forks a pristine replacement instead.
+    Messages arrive as ``(index, trajectories, directive)`` and replies
+    go back as ``(index, reward, error)``.  On a query failure the
+    worker ships the error to the parent and exits — a worker never
+    serves queries from a possibly corrupted replica; the parent forks
+    a pristine replacement instead.  The exception is an error tagged
+    ``replica_safe`` (injected chaos that never touched the replica):
+    it is shipped as data and the worker keeps serving.
+
+    ``directive`` carries seeded worker-chaos orders from a
+    :class:`~repro.runtime.faults.WorkerFaultPlan`: ``("kill",)`` makes
+    the worker die abruptly mid-query (exercising crash healing) and
+    ``("stall", seconds)`` delays it past the parent's heartbeat
+    deadline (exercising stall detection).
     """
+    # Forked workers inherit the parent's signal handlers — including a
+    # scheduler's SIGTERM/SIGINT drain handlers, which would make
+    # workers immune to ``terminate()`` (stall recycling would hang and
+    # leak processes).  Workers die on SIGTERM like any process and
+    # leave Ctrl-C drains to the parent: in-flight queries finish.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     while True:
         try:
             message = conn.recv()
@@ -97,11 +135,18 @@ def _worker_main(system, conn) -> None:
             break
         if message is None:
             break
-        index, trajectories = message
+        index, trajectories, directive = message
+        if directive is not None:
+            if directive[0] == "kill":
+                os._exit(1)
+            if directive[0] == "stall":
+                time.sleep(directive[1])
         try:
             reward = float(system.attack(trajectories))
         except Exception as error:
             conn.send((index, None, error))
+            if getattr(error, "replica_safe", False):
+                continue
             raise SystemExit(1)
         conn.send((index, reward, None))
     conn.close()
@@ -122,17 +167,33 @@ class QueryPool:
     crash_retries:
         How many times one query may be re-issued after killing a worker
         before the pool executes it in-process to surface the real error.
+    stall_timeout:
+        Heartbeat deadline in seconds: a worker holding one query longer
+        than this is presumed hung, killed, and its query re-issued
+        (counted as a crash).  ``None`` (the default) disables the
+        heartbeat — queries may take arbitrarily long.
+    chaos:
+        Optional :class:`~repro.runtime.faults.WorkerFaultPlan` injecting
+        seeded worker kills and stalls per dispatched query, for soak
+        tests of the healing paths.  Ignored in serial mode (there are
+        no workers to kill).
     """
 
     def __init__(self, system, workers: int = 1,
-                 crash_retries: int = 3) -> None:
+                 crash_retries: int = 3,
+                 stall_timeout: Optional[float] = None,
+                 chaos: Optional[WorkerFaultPlan] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if crash_retries < 0:
             raise ValueError("crash_retries must be non-negative")
+        if stall_timeout is not None and stall_timeout <= 0.0:
+            raise ValueError("stall_timeout must be positive")
         self.system = system
         self.workers = workers
         self.crash_retries = crash_retries
+        self.stall_timeout = stall_timeout
+        self.chaos = chaos
         methods = multiprocessing.get_all_start_methods()
         #: Whether this pool can actually parallelize.  Fork is required:
         #: replicas are inherited copy-on-write, never pickled.
@@ -178,13 +239,20 @@ class QueryPool:
             self.broken = True
         self._started = True
 
-    def _recycle(self, slot: int) -> bool:
-        """Reap a dead/poisoned worker and fork a replacement."""
+    def _recycle(self, slot: int, kill: bool = False) -> bool:
+        """Reap a dead/poisoned worker and fork a replacement.
+
+        ``kill=True`` terminates the process up front instead of
+        waiting for it to exit — the stall-detection path, where the
+        worker is presumed hung and would block the join deadline.
+        """
         conn = self._conns[slot]
         proc = self._procs[slot]
         if conn is not None:
             conn.close()
         if proc is not None:
+            if kill and proc.is_alive():
+                proc.terminate()
             proc.join(timeout=_WAIT_TIMEOUT)
             if proc.is_alive():
                 proc.terminate()
@@ -228,7 +296,13 @@ class QueryPool:
                         rng, sleep, base_retries: int = 0) -> QueryOutcome:
         """Execute one query in-process under the caller's retry policy."""
         def attempt() -> float:
-            return float(self.system.attack(trajectories))
+            reward = float(self.system.attack(trajectories))
+            if retry is not None and not np.isfinite(reward):
+                # Same guard PoisonRec applies on its serial path: a
+                # garbage RecNum reading is a retryable fault, not data.
+                raise CorruptRewardError(
+                    f"environment returned non-finite RecNum {reward!r}")
+            return reward
 
         if retry is None:
             return QueryOutcome(reward=attempt(), retries=base_retries)
@@ -271,29 +345,52 @@ class QueryPool:
                               sleep) -> List[QueryOutcome]:
         tasks = list(trajectory_sets)
         results: List[Optional[QueryOutcome]] = [None] * len(tasks)
-        pending = deque(range(len(tasks)))
+        pending: List[int] = list(range(len(tasks)))
         failures = [0] * len(tasks)       # transient in-worker failures
         crashes = [0] * len(tasks)        # worker deaths while running it
-        busy = {}                         # slot -> task index
+        dispatches = [0] * len(tasks)     # sends (the chaos attempt axis)
+        pinned: dict = {}                 # task index -> required slot
+        busy: dict = {}                   # slot -> task index
+        deadlines: dict = {}              # slot -> stall deadline (monotonic)
 
-        def live_idle_slots():
-            return [slot for slot in range(self.workers)
-                    if slot not in busy and self._conns[slot] is not None]
+        def drop(slot: int) -> int:
+            """Take ``slot`` out of flight; returns its task index."""
+            deadlines.pop(slot, None)
+            return busy.pop(slot)
 
         def dispatch() -> None:
-            for slot in live_idle_slots():
-                if not pending:
-                    return
-                index = pending.popleft()
+            for index in list(pending):
+                slot = pinned.get(index)
+                if slot is not None and self._conns[slot] is None:
+                    # The pinned worker died; its replica (and the
+                    # occurrence counters we pinned for) is gone anyway.
+                    pinned.pop(index)
+                    slot = None
+                if slot is not None and slot in busy:
+                    continue      # wait for the pinned worker to idle
+                if slot is None:
+                    idle = [s for s in range(self.workers)
+                            if s not in busy and self._conns[s] is not None]
+                    if not idle:
+                        continue  # a later task may be pinned to an idler
+                    slot = idle[0]
+                dispatches[index] += 1
+                directive = (self.chaos.directive(tasks[index],
+                                                  dispatches[index])
+                             if self.chaos is not None else None)
                 try:
-                    self._conns[slot].send((index, tasks[index]))
+                    self._conns[slot].send((index, tasks[index], directive))
                 except (BrokenPipeError, OSError):
-                    pending.appendleft(index)
+                    pinned.pop(index, None)
                     self._handle_crash(slot)
-                    continue
+                    continue      # stays pending; retried next round
+                pending.remove(index)
                 busy[slot] = index
+                if self.stall_timeout is not None:
+                    deadlines[slot] = time.monotonic() + self.stall_timeout
 
         def requeue_after_crash(index: int) -> None:
+            pinned.pop(index, None)
             crashes[index] += 1
             if crashes[index] > self.crash_retries:
                 # A query that keeps killing workers runs in-process so
@@ -303,7 +400,36 @@ class QueryPool:
                     tasks[index], retry, rng, sleep,
                     base_retries=failures[index] + crashes[index])
             else:
-                pending.appendleft(index)
+                pending.insert(0, index)
+
+        def handle_transient(index: int, slot: Optional[int],
+                             error: Exception) -> None:
+            """One transient failure of ``index``; requeue or quarantine.
+
+            ``slot`` names the still-alive worker whose replica consumed
+            the failed attempt — the retry is pinned there so per-query
+            occurrence counters advance exactly as they would serially.
+            """
+            failures[index] += 1
+            if retry is None:
+                self._abort(busy)
+                raise error
+            if failures[index] >= retry.max_attempts:
+                pinned.pop(index, None)
+                results[index] = QueryOutcome(
+                    reward=None,
+                    retries=(failures[index] - 1 + crashes[index]),
+                    error=RetriesExhaustedError(
+                        f"gave up after {failures[index]} "
+                        f"attempt(s): {error}",
+                        attempts=failures[index]))
+                return
+            delay = retry.backoff(failures[index], rng)
+            if delay > 0.0:
+                sleep(delay)
+            if slot is not None:
+                pinned[index] = slot
+            pending.insert(0, index)
 
         while pending or busy:
             dispatch()
@@ -313,21 +439,34 @@ class QueryPool:
                     # Every worker slot is dead and respawning failed.
                     self.broken = True
                     while pending:
-                        index = pending.popleft()
+                        index = pending.pop(0)
                         self.serial_fallbacks += 1
                         results[index] = self._serial_outcome(
                             tasks[index], retry, rng, sleep,
                             base_retries=failures[index] + crashes[index])
                 continue
             conn_to_slot = {self._conns[slot]: slot for slot in busy}
-            ready = _connection_wait(list(conn_to_slot), _WAIT_TIMEOUT)
+            timeout = _WAIT_TIMEOUT
+            if deadlines:
+                timeout = min(timeout, max(
+                    min(deadlines.values()) - time.monotonic(), 0.0))
+            ready = _connection_wait(list(conn_to_slot), timeout)
             if not ready:
+                # Heartbeat: a worker holding one query past the stall
+                # deadline is presumed hung — kill it and re-issue.
+                now = time.monotonic()
+                for slot in list(busy):
+                    if slot in deadlines and now >= deadlines[slot]:
+                        index = drop(slot)
+                        self.crashes += 1
+                        self._recycle(slot, kill=True)
+                        requeue_after_crash(index)
                 # Paranoia sweep: a worker that died without closing its
                 # pipe would otherwise hang the batch forever.
                 for slot in list(busy):
                     proc = self._procs[slot]
                     if proc is None or not proc.is_alive():
-                        index = busy.pop(slot)
+                        index = drop(slot)
                         self._handle_crash(slot)
                         requeue_after_crash(index)
                 continue
@@ -336,37 +475,36 @@ class QueryPool:
                 try:
                     index, reward, error = conn.recv()
                 except (EOFError, OSError):
-                    index = busy.pop(slot)
+                    index = drop(slot)
                     self._handle_crash(slot)
                     requeue_after_crash(index)
                     continue
-                busy.pop(slot)
+                drop(slot)
                 if error is None:
+                    # The replica executed a real query; mirror it into
+                    # the parent's budget counter before validating.
+                    self._count_query()
+                    if retry is not None and not np.isfinite(reward):
+                        handle_transient(index, slot, CorruptRewardError(
+                            f"environment returned non-finite RecNum "
+                            f"{reward!r}"))
+                        continue
+                    pinned.pop(index, None)
                     results[index] = QueryOutcome(
                         reward=reward,
                         retries=failures[index] + crashes[index])
-                    self._count_query()
+                    continue
+                if getattr(error, "replica_safe", False) and isinstance(
+                        error, TransientEnvironmentError):
+                    # Injected chaos that never touched the replica: the
+                    # worker is still serving; retry pinned to it.
+                    handle_transient(index, slot, error)
                     continue
                 # The worker ships the error then exits; recycle it.
                 self._handle_crash(slot)
+                pinned.pop(index, None)
                 if isinstance(error, TransientEnvironmentError):
-                    failures[index] += 1
-                    if retry is None:
-                        self._abort(busy)
-                        raise error
-                    if failures[index] >= retry.max_attempts:
-                        results[index] = QueryOutcome(
-                            reward=None,
-                            retries=(failures[index] - 1 + crashes[index]),
-                            error=RetriesExhaustedError(
-                                f"gave up after {failures[index]} "
-                                f"attempt(s): {error}",
-                                attempts=failures[index]))
-                        continue
-                    delay = retry.backoff(failures[index], rng)
-                    if delay > 0.0:
-                        sleep(delay)
-                    pending.appendleft(index)
+                    handle_transient(index, None, error)
                 else:
                     self._abort(busy)
                     raise error
@@ -378,18 +516,26 @@ class QueryPool:
         self._recycle(slot)
 
     def _count_query(self) -> None:
-        """Mirror a worker-side query into the parent's budget counter."""
+        """Mirror a worker-side query into the parent's budget counter.
+
+        Walks the wrapper chain (``FaultyEnvironment._env``,
+        ``BlackBoxEnvironment._system``) until a writable
+        ``query_count`` is found; read-only facades delegate inward.
+        """
         target = self.system
-        if not hasattr(target, "query_count"):
-            return
-        try:
-            target.query_count += 1
-        except AttributeError:
-            # Read-only facade (e.g. BlackBoxEnvironment): charge the
-            # underlying system it forwards to.
+        for _ in range(8):
+            if target is None:
+                return
+            if hasattr(target, "query_count"):
+                try:
+                    target.query_count += 1
+                    return
+                except AttributeError:
+                    pass
             inner = getattr(target, "_system", None)
-            if inner is not None:
-                inner.query_count += 1
+            if inner is None:
+                inner = getattr(target, "_env", None)
+            target = inner
 
     def _abort(self, busy: dict) -> None:
         """Tear the pool down before propagating a fatal error.

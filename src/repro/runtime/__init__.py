@@ -16,7 +16,8 @@ from .errors import (CampaignDivergenceError, CampaignError,
                      FailureBudgetExhausted, FatalEnvironmentError,
                      QueryTimeoutError, RetriesExhaustedError,
                      TransientEnvironmentError)
-from .faults import FaultPlan, FaultyEnvironment
+from .faults import (FaultPlan, FaultyEnvironment, WorkerFaultPlan,
+                     query_digest)
 from .resilience import CampaignState, ResilienceConfig
 from .retry import FailureBudget, RetryOutcome, RetryPolicy, call_with_retry
 from .watchdog import DivergenceWatchdog, RunningMoments, WatchdogConfig
@@ -28,7 +29,7 @@ __all__ = [
     "CorruptRewardError", "FatalEnvironmentError", "RetriesExhaustedError",
     "FailureBudgetExhausted", "CampaignDivergenceError",
     "CorruptCheckpointError",
-    "FaultPlan", "FaultyEnvironment",
+    "FaultPlan", "FaultyEnvironment", "WorkerFaultPlan", "query_digest",
     "CampaignState", "ResilienceConfig",
     "RetryPolicy", "RetryOutcome", "FailureBudget", "call_with_retry",
     "RunningMoments", "WatchdogConfig", "DivergenceWatchdog",

@@ -4,10 +4,29 @@
 :class:`~repro.recsys.system.BlackBoxEnvironment`-shaped object with a
 seeded schedule of the transient failures real query-limited targets
 exhibit: raised transient errors, deadline-budget timeouts, NaN/garbage
-RecNum readings, and stale (cached) recommendations.  The schedule is
-driven by its own ``default_rng(seed)``, so a given seed reproduces the
-exact same fault sequence — which is what makes the chaos tests and the
-CI chaos smoke job deterministic.
+RecNum readings, and stale (cached) recommendations.
+
+Per-query determinism
+---------------------
+Whether a given query is faulted is a *pure function* of the plan seed,
+the query's trajectory content, and how many times that exact content
+has been attempted (``sha256(seed, trajectories, occurrence)`` — no RNG
+object, no call-order dependence).  Two consequences:
+
+* a given seed reproduces the exact same fault schedule — the chaos
+  tests and the CI chaos smoke job stay deterministic;
+* the schedule survives process forks: a :class:`~repro.perf.pool.QueryPool`
+  worker holding a replica of this wrapper injects exactly the faults
+  the serial run would have injected for the same queries, so pooled
+  chaos campaigns remain bit-identical to serial chaos campaigns.
+
+Injected *transient* and *timeout* errors are tagged
+``replica_safe=True``: they carry no risk of a corrupted replica, so
+the pool keeps the worker alive instead of recycling it.
+
+:class:`WorkerFaultPlan` is the fleet-level counterpart: a seeded
+schedule of worker *kills* and *stalls* (drawn per dispatch attempt of
+a query) that exercises the pool's crash-healing and heartbeat paths.
 
 The wrapper exposes the same attacker-facing surface as the wrapped
 environment (item universe, targets, popularity, ``attack``,
@@ -17,17 +36,95 @@ to :class:`~repro.core.agent.PoisonRec`.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..effects import pure
 from .errors import QueryTimeoutError, TransientEnvironmentError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, no runtime dep
     from ..recsys.system import BlackBoxEnvironment
 
 
+# ----------------------------------------------------------------------
+# Content hashing: the substrate of per-query determinism
+# ----------------------------------------------------------------------
+def _hash_update(h, obj) -> None:
+    """Feed one (possibly nested) value into a hash, type-tagged.
+
+    Supports the shapes that appear in query tasks: ints (trajectory
+    item ids), floats, strings (campaign tags), bytes, bools, numpy
+    scalars/arrays, and arbitrarily nested lists/tuples.  Tags and
+    length prefixes make the encoding prefix-free, so distinct values
+    can never collide by concatenation.
+    """
+    if isinstance(obj, (bool, np.bool_)):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I" + int(obj).to_bytes(8, "little", signed=True))
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"F" + struct.pack("<d", float(obj)))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"S" + len(raw).to_bytes(4, "little") + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + len(obj).to_bytes(4, "little") + obj)
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A")
+        _hash_update(h, obj.tolist())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + len(obj).to_bytes(4, "little"))
+        for item in obj:
+            _hash_update(h, item)
+    elif obj is None:
+        h.update(b"N")
+    else:
+        raise TypeError(f"cannot hash query content of type {type(obj)!r}")
+
+
+@pure
+def query_digest(task, seed: int = 0) -> bytes:
+    """Stable 32-byte digest of one query's content under ``seed``.
+
+    ``task`` is whatever the pool dispatches — plain trajectory sets or
+    ``(campaign, trajectories)`` tagged tasks.  The digest is identical
+    across processes and call orders, which is what lets fault schedules
+    compose with forked execution.
+    """
+    h = hashlib.sha256()
+    _hash_update(h, int(seed))
+    _hash_update(h, task)
+    return h.digest()
+
+
+@pure
+def _uniform(digest: bytes, label: str, occurrence: int) -> float:
+    """A uniform [0, 1) draw derived purely from ``(digest, label, n)``."""
+    h = hashlib.sha256(digest)
+    _hash_update(h, label)
+    _hash_update(h, int(occurrence))
+    return int.from_bytes(h.digest()[:8], "little") / 2.0 ** 64
+
+
+def _mark_replica_safe(error: Exception) -> Exception:
+    """Tag an injected error as harmless to the raising replica.
+
+    The pool treats tagged errors as data (ship + keep the worker)
+    instead of evidence of corruption (ship + recycle the worker).
+    The attribute rides along through pickling because exception
+    ``__dict__`` contents survive ``__reduce__``.
+    """
+    error.replica_safe = True
+    return error
+
+
+# ----------------------------------------------------------------------
+# Environment-level faults
+# ----------------------------------------------------------------------
 @dataclass
 class FaultPlan:
     """Seeded fault schedule: per-query rates for each failure kind.
@@ -37,6 +134,11 @@ class FaultPlan:
     mass is a healthy query.  ``deadline`` and ``latency_multiplier``
     shape the simulated-latency message attached to injected timeouts —
     no real sleeping happens.
+
+    The draw for a query is a pure hash of ``(seed, content,
+    occurrence)``: retrying the same content advances ``occurrence`` and
+    gets a fresh draw, while a different call order (or a different
+    process) replays the identical schedule.
     """
 
     transient_rate: float = 0.0
@@ -75,30 +177,77 @@ class FaultPlan:
         return cls(transient_rate=0.5 * rate, timeout_rate=0.2 * rate,
                    corrupt_rate=0.2 * rate, stale_rate=0.1 * rate, seed=seed)
 
+    @classmethod
+    def retryable(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A blend of *retryable-only* faults at ``rate`` probability.
+
+        Split 50% transient errors, 20% timeouts, 30% corrupt rewards —
+        and deliberately no stale reads.  Every fault in this mix is
+        retried away by the campaign loop (corrupt readings through the
+        non-finite-reward guard), so a campaign run under this plan
+        converges to rewards bit-identical to a fault-free run.  Stale
+        reads, by contrast, silently substitute the clean baseline and
+        *would* change the observed history; ``repro.serve`` therefore
+        uses this mix for fleet chaos, where per-campaign results must
+        stay comparable across faulted and clean runs.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("chaos rate must be in [0, 1]")
+        return cls(transient_rate=0.5 * rate, timeout_rate=0.2 * rate,
+                   corrupt_rate=0.3 * rate, seed=seed)
+
+    @pure
+    def draw(self, digest: bytes,
+             occurrence: int) -> Tuple[Optional[str], float]:
+        """Fault decision for the ``occurrence``-th attempt of a query.
+
+        Returns ``(kind, latency_fraction)`` where ``kind`` is one of
+        ``"transient" | "timeout" | "corrupt" | "stale" | None`` and the
+        fraction parameterizes the simulated timeout latency.
+        """
+        u = _uniform(digest, "fault", occurrence)
+        edge = 0.0 + self.transient_rate
+        if u < edge:
+            return "transient", 0.0
+        edge = edge + self.timeout_rate
+        if u < edge:
+            return "timeout", _uniform(digest, "latency", occurrence)
+        edge = edge + self.corrupt_rate
+        if u < edge:
+            return "corrupt", 0.0
+        edge = edge + self.stale_rate
+        if u < edge:
+            return "stale", 0.0
+        return None, 0.0
+
 
 class FaultyEnvironment:
-    """A black-box environment that fails on a seeded schedule.
+    """A black-box environment that fails on a seeded per-query schedule.
 
     Wraps a real environment and, per :meth:`attack` call, either
     forwards the query or injects one of the plan's fault kinds:
 
     * ``transient`` — raises :class:`TransientEnvironmentError` without
-      touching the wrapped system;
+      touching the wrapped system (tagged replica-safe);
     * ``timeout`` — raises :class:`QueryTimeoutError` carrying the
-      simulated latency that blew the deadline budget;
+      simulated latency that blew the deadline budget (replica-safe);
     * ``corrupt`` — performs the real query but reports ``NaN``
       (a garbage RecNum reading the caller must detect);
-    * ``stale`` — silently returns the previous query's reward (a cache
-      serving outdated recommendations).
+    * ``stale`` — returns the clean-baseline RecNum instead of the
+      query's true reward (a cache serving pre-attack recommendations).
 
     ``injected`` tallies every fault by kind for telemetry and tests.
+    In pooled mode each forked replica keeps its own tally; the
+    parent's wrapper only counts faults it injected in-process.
     """
 
     def __init__(self, env: "BlackBoxEnvironment", plan: FaultPlan) -> None:
         self._env = env
         self.plan = plan
-        self._rng = np.random.default_rng(plan.seed)
-        self._last_reward: Optional[int] = None
+        #: Attempt counters keyed by query digest — the ``occurrence``
+        #: axis of the per-query fault draws.
+        self._occurrences: Dict[bytes, int] = {}
+        self._stale_reward: Optional[float] = None
         self.injected: Dict[str, int] = {
             "transient": 0, "timeout": 0, "corrupt": 0, "stale": 0}
         # Mirror the attacker-facing knowledge surface of the wrapped env.
@@ -112,34 +261,32 @@ class FaultyEnvironment:
     def attack(self, trajectories: Sequence[Sequence[int]]) -> float:
         """Forward one query, or inject the scheduled fault instead."""
         plan = self.plan
-        draw = float(self._rng.random())
-        edge = plan.transient_rate
-        if draw < edge:
+        digest = query_digest(trajectories, seed=plan.seed)
+        occurrence = self._occurrences.get(digest, 0)
+        self._occurrences[digest] = occurrence + 1
+        kind, latency_u = plan.draw(digest, occurrence)
+        if kind == "transient":
             self.injected["transient"] += 1
-            raise TransientEnvironmentError(
+            raise _mark_replica_safe(TransientEnvironmentError(
                 f"injected transient environment failure "
-                f"(query {self.query_count}, fault "
-                f"#{sum(self.injected.values())})")
-        edge += plan.timeout_rate
-        if draw < edge:
+                f"(query {digest.hex()[:8]}, attempt {occurrence + 1})"))
+        if kind == "timeout":
             self.injected["timeout"] += 1
             latency = plan.deadline * (
-                1.0 + float(self._rng.random()) * plan.latency_multiplier)
-            raise QueryTimeoutError(
+                1.0 + latency_u * plan.latency_multiplier)
+            raise _mark_replica_safe(QueryTimeoutError(
                 f"injected query timeout: simulated latency {latency:.2f}s "
-                f"exceeded the {plan.deadline:.2f}s deadline budget")
-        edge += plan.corrupt_rate
-        if draw < edge:
+                f"exceeded the {plan.deadline:.2f}s deadline budget"))
+        if kind == "corrupt":
             self.injected["corrupt"] += 1
-            self._last_reward = int(self._env.attack(trajectories))
+            self._env.attack(trajectories)
             return float("nan")
-        edge += plan.stale_rate
-        if draw < edge and self._last_reward is not None:
+        if kind == "stale":
             self.injected["stale"] += 1
-            return float(self._last_reward)
-        reward = int(self._env.attack(trajectories))
-        self._last_reward = reward
-        return float(reward)
+            if self._stale_reward is None:
+                self._stale_reward = float(self._env.clean_recnum())
+            return self._stale_reward
+        return float(self._env.attack(trajectories))
 
     def clean_recnum(self) -> int:
         """Pass through to the wrapped environment (never faulted)."""
@@ -153,3 +300,51 @@ class FaultyEnvironment:
     def __repr__(self) -> str:
         return (f"FaultyEnvironment(total_rate={self.plan.total_rate:.3f}, "
                 f"seed={self.plan.seed}, injected={self.injected})")
+
+
+# ----------------------------------------------------------------------
+# Fleet-level faults
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerFaultPlan:
+    """Seeded worker-chaos schedule: kills and stalls per dispatch.
+
+    The :class:`~repro.perf.pool.QueryPool` draws a directive for every
+    ``(query content, dispatch attempt)`` pair — a pure hash, exactly
+    like :class:`FaultPlan` — and ships it to the worker alongside the
+    query.  ``kill`` makes the worker exit abruptly mid-query (the
+    crash-healing path must reap, respawn, and requeue); ``stall``
+    makes it sleep past the pool's ``stall_timeout`` (the heartbeat
+    path must detect and recycle it).  Because the draw is keyed on the
+    dispatch attempt, a re-issued query gets a fresh draw and the
+    batch always converges.
+    """
+
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kill_rate <= 1.0:
+            raise ValueError("kill_rate must be in [0, 1]")
+        if not 0.0 <= self.stall_rate <= 1.0:
+            raise ValueError("stall_rate must be in [0, 1]")
+        if self.kill_rate + self.stall_rate > 1.0:
+            raise ValueError("worker fault rates must sum to at most 1")
+        if self.stall_seconds <= 0.0:
+            raise ValueError("stall_seconds must be positive")
+
+    @pure
+    def directive(self, task, attempt: int) -> Optional[Tuple]:
+        """Chaos directive for the ``attempt``-th dispatch of ``task``.
+
+        Returns ``("kill",)``, ``("stall", seconds)`` or ``None``.
+        """
+        digest = query_digest(task, seed=self.seed)
+        u = _uniform(digest, "worker", attempt)
+        if u < self.kill_rate:
+            return ("kill",)
+        if u < self.kill_rate + self.stall_rate:
+            return ("stall", self.stall_seconds)
+        return None

@@ -1,0 +1,53 @@
+"""The Table-2/3 experiment grid as the scheduler's first client.
+
+The paper's headline results sweep rankers × action spaces on one
+dataset (Table 2: attack performance per recommender; Table 3: action
+space ablation).  :func:`grid_specs` expands such a sweep into one
+:class:`~repro.serve.campaign.CampaignSpec` per cell, named
+``<ranker>-<action_space>``, ready for ``CampaignScheduler.submit`` —
+so the whole grid runs as a supervised fleet over one shared worker
+pool instead of a serial for-loop of standalone runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..effects import pure
+from .campaign import CampaignSpec
+
+#: Table-2 rankers and Table-3 action spaces at reproduction scale.
+DEFAULT_RANKERS = ("itempop", "covisitation", "pmf")
+DEFAULT_ACTION_SPACES = ("plain", "bplain", "bcbt-popular")
+
+
+@pure
+def grid_specs(rankers: Sequence[str] = DEFAULT_RANKERS,
+               action_spaces: Sequence[str] = DEFAULT_ACTION_SPACES,
+               dataset: str = "steam", scale: str = "ci",
+               steps: Optional[int] = None, seed: int = 0,
+               chaos_rate: float = 0.0,
+               failure_budget: int = 64) -> List[CampaignSpec]:
+    """Expand a ranker × action-space sweep into campaign specs.
+
+    Every cell gets the same seed, budget, and chaos settings, so the
+    grid is a controlled comparison; cell names are
+    ``<ranker>-<action_space>`` and double as checkpoint file names.
+    """
+    if not rankers or not action_spaces:
+        raise ValueError("grid needs at least one ranker and action space")
+    specs = []
+    for ranker in rankers:
+        for action_space in action_spaces:
+            specs.append(CampaignSpec(
+                name=f"{ranker}-{action_space}",
+                dataset=dataset,
+                ranker=ranker,
+                action_space=action_space,
+                scale=scale,
+                seed=seed,
+                steps=steps,
+                chaos_rate=chaos_rate,
+                failure_budget=failure_budget,
+            ))
+    return specs

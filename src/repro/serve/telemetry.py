@@ -1,0 +1,130 @@
+"""Live fleet telemetry: per-campaign StepStats and profiler rollups.
+
+:class:`FleetTelemetry` is the scheduler's observer: every completed
+training step streams its :class:`~repro.core.agent.StepStats` here
+(tagged with the campaign name), fleet events (restarts, tier changes,
+drains) become narrator lines, and per-campaign
+:class:`~repro.perf.profile.QueryProfiler` phase timings are rolled up
+into one fleet-wide breakdown.
+
+Output is written to an injectable stream (``None`` silences it, which
+is what the tests use); the scheduler never formats anything itself.
+Profiler rollups cover work executed *in the parent process* — at the
+pooled tier the restore/retrain/score phases run inside forked workers,
+whose timings are not shipped back, so rollups are most informative at
+the serial tier or for serial-fallback queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+from ..effects import pure
+from ..experiments.tables import format_table
+
+
+@dataclass
+class CampaignTelemetry:
+    """Accumulated per-campaign stream state."""
+
+    name: str
+    steps: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    best_reward: float = float("-inf")
+    last_mean: float = float("nan")
+    last_max: float = float("nan")
+    restarts: int = 0
+    phases: Dict[str, float] = field(default_factory=dict)
+
+
+class FleetTelemetry:
+    """Streams fleet progress and aggregates per-campaign counters."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+        self.campaigns: Dict[str, CampaignTelemetry] = {}
+        self.events: List[str] = []
+
+    def _campaign(self, name: str) -> CampaignTelemetry:
+        if name not in self.campaigns:
+            self.campaigns[name] = CampaignTelemetry(name)
+        return self.campaigns[name]
+
+    def _emit(self, line: str) -> None:
+        if self.stream is not None:
+            print(line, file=self.stream)
+
+    def observe(self, name: str, stats) -> None:
+        """Stream one completed training step of one campaign."""
+        entry = self._campaign(name)
+        entry.steps += 1
+        entry.retries += stats.retries
+        entry.quarantined += stats.quarantined
+        entry.last_mean = stats.mean_reward
+        entry.last_max = stats.max_reward
+        if stats.max_reward > entry.best_reward:
+            entry.best_reward = stats.max_reward
+        self._emit(f"[{name}] step {stats.step:3d}: "
+                   f"mean={stats.mean_reward:8.1f} "
+                   f"max={stats.max_reward:6.0f} "
+                   f"retries={stats.retries} "
+                   f"quarantined={stats.quarantined}")
+
+    def event(self, message: str) -> None:
+        """Record one fleet-level event (restart, tier change, drain)."""
+        self.events.append(message)
+        self._emit(f"== {message}")
+
+    def note_restart(self, name: str) -> None:
+        """Count one supervised restart of ``name``."""
+        self._campaign(name).restarts += 1
+
+    def rollup_profiler(self, name: str, profiler) -> None:
+        """Fold one campaign's parent-side profiler phases in."""
+        if profiler is None:
+            return
+        phases = self._campaign(name).phases
+        for phase, stats in profiler.summary().items():
+            phases[phase] = phases.get(phase, 0.0) + stats["seconds"]
+
+    @pure
+    def phase_totals(self) -> Dict[str, float]:
+        """Fleet-wide per-phase seconds across all campaigns."""
+        totals: Dict[str, float] = {}
+        for entry in self.campaigns.values():
+            for phase, seconds in entry.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    def render_table(self, records=None) -> str:
+        """The fleet summary table (optionally with lifecycle status).
+
+        With ``records``, every submitted campaign gets a row — including
+        ones that finished in a *previous* process (a resumed fleet) and
+        therefore streamed no steps through this telemetry instance.
+        """
+        names = list(records) if records is not None else list(self.campaigns)
+        rows = []
+        for name in names:
+            entry = self.campaigns.get(name)
+            record = records[name] if records is not None else None
+            steps = record.steps_done if record is not None else entry.steps
+            if (record is not None and record.agent is None
+                    and record.status.value == "completed"
+                    and record.total_steps is not None):
+                steps = record.total_steps  # finished in a prior process
+            rows.append([
+                name,
+                record.status.value if record is not None else "?",
+                steps,
+                f"{entry.best_reward:.0f}"
+                if entry is not None and entry.steps else "-",
+                entry.retries if entry is not None else 0,
+                entry.quarantined if entry is not None else 0,
+                entry.restarts if entry is not None else 0,
+            ])
+        return format_table(
+            ["campaign", "status", "steps", "best", "retries",
+             "quarantined", "restarts"], rows)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import glob
 import os
+import time
 
 import numpy as np
 import pytest
@@ -11,7 +13,8 @@ from repro.core import PoisonRec, PoisonRecConfig
 from repro.data import DatasetSpec, generate_log, leave_one_out_split
 from repro.perf import QueryOutcome, QueryPool, WorkerCrashError
 from repro.recsys import BlackBoxEnvironment, RecommenderSystem
-from repro.runtime import RetryPolicy
+from repro.runtime import (FaultPlan, FaultyEnvironment, ResilienceConfig,
+                           RetryPolicy, WorkerFaultPlan)
 from repro.runtime.errors import (RetriesExhaustedError,
                                   TransientEnvironmentError)
 
@@ -255,6 +258,181 @@ def test_fatal_error_propagates():
     with QueryPool(FatalSystem(), workers=2) as pool:
         with pytest.raises(BoomError):
             pool.attack_many(batch(2))
+
+
+class StallOnceSystem(SumSystem):
+    """Hangs (once) past any reasonable heartbeat, then serves normally."""
+
+    def __init__(self, flag_path, seconds=2.0):
+        super().__init__()
+        self.flag_path = str(flag_path)
+        self.seconds = seconds
+
+    def attack(self, trajectories):
+        if not os.path.exists(self.flag_path):
+            open(self.flag_path, "w").close()
+            time.sleep(self.seconds)
+        return super().attack(trajectories)
+
+
+class PinProbeSystem(SumSystem):
+    """Fails with a replica-safe error ``failures`` times *per worker*.
+
+    Each failure drops a ``fail.<pid>.<n>`` flag file, so a test can
+    verify that all retry attempts landed on the same worker (retry
+    pinning) — an unpinned retry would bounce to a fresh worker whose
+    failure count starts at zero.
+    """
+
+    def __init__(self, flag_dir, failures=2):
+        super().__init__()
+        self.flag_dir = str(flag_dir)
+        self.failures = failures
+
+    def attack(self, trajectories):
+        pid = os.getpid()
+        count = 0
+        while os.path.exists(f"{self.flag_dir}/fail.{pid}.{count}"):
+            count += 1
+        if count < self.failures:
+            open(f"{self.flag_dir}/fail.{pid}.{count}", "w").close()
+            error = TransientEnvironmentError("injected, replica untouched")
+            error.replica_safe = True
+            raise error
+        return super().attack(trajectories)
+
+
+class NaNOnceSystem(SumSystem):
+    """Returns a corrupt (non-finite) reward on the first query."""
+
+    def __init__(self, flag_path):
+        super().__init__()
+        self.flag_path = str(flag_path)
+
+    def attack(self, trajectories):
+        reward = super().attack(trajectories)
+        if not os.path.exists(self.flag_path):
+            open(self.flag_path, "w").close()
+            return float("nan")
+        return reward
+
+
+# ----------------------------------------------------------------------
+# Stall heartbeat, worker chaos, and retry pinning
+# ----------------------------------------------------------------------
+@needs_fork
+def test_stalled_worker_detected_and_query_reissued(tmp_path):
+    system = StallOnceSystem(tmp_path / "stall", seconds=30.0)
+    sets = batch(3, seed=8)
+    with QueryPool(system, workers=2, stall_timeout=0.2) as pool:
+        outcomes = pool.attack_many(
+            sets, retry=RetryPolicy(max_attempts=4, base_delay=0.0,
+                                    jitter=0.0),
+            rng=np.random.default_rng(0), sleep=lambda _: None)
+    assert pool.crashes >= 1
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in s)) for s in sets]
+
+
+@needs_fork
+def test_chaos_worker_kills_are_healed():
+    chaos = WorkerFaultPlan(kill_rate=0.4, seed=11)
+    system = SumSystem()
+    sets = batch(8, seed=9)
+    with QueryPool(system, workers=2, chaos=chaos) as pool:
+        outcomes = pool.attack_many(
+            sets, retry=RetryPolicy(max_attempts=6, base_delay=0.0,
+                                    jitter=0.0),
+            rng=np.random.default_rng(0), sleep=lambda _: None)
+    assert pool.crashes >= 1
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in s)) for s in sets]
+
+
+@needs_fork
+def test_chaos_worker_stalls_are_healed():
+    chaos = WorkerFaultPlan(stall_rate=0.5, stall_seconds=5.0, seed=3)
+    system = SumSystem()
+    sets = batch(4, seed=10)
+    with QueryPool(system, workers=2, stall_timeout=0.2, chaos=chaos) as pool:
+        outcomes = pool.attack_many(
+            sets, retry=RetryPolicy(max_attempts=6, base_delay=0.0,
+                                    jitter=0.0),
+            rng=np.random.default_rng(0), sleep=lambda _: None)
+    # Directives are drawn per dispatch attempt, so a stalled query is
+    # eventually served (possibly in-process after a crash loop).
+    assert pool.crashes >= 1
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in s)) for s in sets]
+
+
+@needs_fork
+def test_replica_safe_errors_keep_the_worker_alive(tmp_path):
+    system = PinProbeSystem(tmp_path, failures=1)
+    sets = batch(4, seed=12)
+    with QueryPool(system, workers=2) as pool:
+        outcomes = pool.attack_many(
+            sets, retry=RetryPolicy(max_attempts=4, base_delay=0.0,
+                                    jitter=0.0),
+            rng=np.random.default_rng(0), sleep=lambda _: None)
+    # Tagged errors ship as data: no worker death, no respawn.
+    assert pool.crashes == 0
+    assert [o.reward for o in outcomes] == [
+        float(sum(sum(t) for t in s)) for s in sets]
+
+
+@needs_fork
+def test_retries_are_pinned_to_the_failing_worker(tmp_path):
+    system = PinProbeSystem(tmp_path, failures=2)
+    with QueryPool(system, workers=2) as pool:
+        outcomes = pool.attack_many(
+            batch(1, seed=13),
+            retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+            rng=np.random.default_rng(0), sleep=lambda _: None)
+    assert outcomes[0].reward is not None
+    assert outcomes[0].retries == 2
+    # Both failures (and the success) happened in one worker: pinning
+    # kept the replica's per-query occurrence counters advancing.
+    pids = {path.split(".")[-2]
+            for path in glob.glob(f"{tmp_path}/fail.*")}
+    assert len(pids) == 1
+
+
+@needs_fork
+def test_corrupt_reward_is_retried_in_pool(tmp_path):
+    system = NaNOnceSystem(tmp_path / "nan")
+    sets = batch(2, seed=14)
+    with QueryPool(system, workers=2) as pool:
+        outcomes = pool.attack_many(
+            sets, retry=RetryPolicy(max_attempts=4, base_delay=0.0,
+                                    jitter=0.0),
+            rng=np.random.default_rng(0), sleep=lambda _: None)
+    assert pool.crashes == 0
+    assert all(np.isfinite(o.reward) for o in outcomes)
+    assert sum(o.retries for o in outcomes) >= 1
+
+
+@needs_fork
+def test_chaos_campaign_bit_identical_to_serial_chaos():
+    """Pooled + env chaos produces the exact serial chaos history
+    (the lifted --workers/--chaos CLI restriction, satellite 1)."""
+    def run(pool_workers):
+        env = FaultyEnvironment(make_env(),
+                                FaultPlan.mixed(0.3, seed=5))
+        pool = (QueryPool(env, workers=pool_workers)
+                if pool_workers else None)
+        agent = PoisonRec(env, PoisonRecConfig.ci(), action_space="plain",
+                          query_pool=pool)
+        resilience = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=4), watchdog=None,
+            jitter_seed=0, sleep=lambda _: None)
+        result = agent.train(steps=2, resilience=resilience)
+        if pool is not None:
+            pool.close()
+        return [(s.step, s.mean_reward, s.max_reward, tuple(s.losses),
+                 s.retries, s.quarantined) for s in result.history]
+
+    assert run(0) == run(3)
 
 
 def test_worker_crash_error_is_transient():

@@ -1,0 +1,53 @@
+"""Fixtures for the serving layer: tiny testbeds and builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PoisonRecConfig
+from repro.recsys import BlackBoxEnvironment, RecommenderSystem
+
+#: Steps a tiny campaign owes when its spec defers to the scale default.
+TINY_DEFAULT_STEPS = 4
+
+
+@pytest.fixture(scope="session")
+def tiny_systems(tiny_dataset):
+    """Memoized ``(ranker, seed) -> RecommenderSystem`` factory.
+
+    Fitting a ranker dominates scheduler-test runtime; campaigns that
+    share a testbed share the fitted system (queries restore its full
+    clean state, so sharing is observationally safe).
+    """
+    cache = {}
+
+    def get(ranker: str, seed: int) -> RecommenderSystem:
+        key = (ranker, seed)
+        if key not in cache:
+            cache[key] = RecommenderSystem(tiny_dataset, ranker, seed=seed,
+                                           num_attackers=6)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture()
+def tiny_builder(tiny_systems):
+    """A fast ``CampaignScheduler`` builder over the tiny dataset."""
+
+    def build(spec):
+        system = tiny_systems(spec.ranker, spec.seed)
+        system.reset(force=True)
+        env = BlackBoxEnvironment(system)
+        config = PoisonRecConfig.ci(num_attackers=6, trajectory_length=8,
+                                    samples_per_step=4, batch_size=4,
+                                    embedding_dim=8, seed=spec.seed)
+        return env, config, TINY_DEFAULT_STEPS
+
+    return build
+
+
+def history_fingerprint(record):
+    """Bit-comparable view of one campaign's training history."""
+    return [(stats.step, stats.mean_reward, stats.max_reward,
+             tuple(stats.losses)) for stats in record.agent.result.history]

@@ -1,0 +1,131 @@
+"""Self-contained fleet driver for crash/signal recovery tests.
+
+Runs a small campaign fleet over a tiny generated testbed, either
+in-process (imported by tests to compute fault-free baselines) or as a
+subprocess target for the ugly cases — ``kill -9`` mid-grid, SIGTERM
+drains — where the orchestrator process itself must die::
+
+    PYTHONPATH=src python -m tests.serve.fleet_driver run <dir> '<json>'
+    PYTHONPATH=src python -m tests.serve.fleet_driver resume <dir> '<json>'
+
+The driver writes ``result-<mode>.json`` into the fleet directory:
+completion status plus per-campaign history fingerprints (step stats
+and best reward), which tests compare bit-for-bit across fault-free,
+chaos-soaked, killed-and-resumed, and drained-and-resumed runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core import PoisonRec, PoisonRecConfig
+from repro.data import DatasetSpec, generate_log, leave_one_out_split
+from repro.recsys import BlackBoxEnvironment, RecommenderSystem
+from repro.runtime import WorkerFaultPlan
+from repro.runtime.checkpoint import load_campaign
+from repro.serve import CampaignScheduler, CampaignSpec
+
+RANKERS = ("itempop", "covisitation")
+
+
+def build(spec):
+    """Tiny-testbed builder: milliseconds to fit, deterministic."""
+    data_spec = DatasetSpec(name="tiny", num_users=40, num_items=60,
+                            num_samples=400, num_clusters=5)
+    dataset = leave_one_out_split("tiny", generate_log(data_spec, seed=7))
+    system = RecommenderSystem(dataset, spec.ranker, seed=spec.seed,
+                               num_attackers=6)
+    config = PoisonRecConfig.ci(num_attackers=6, trajectory_length=8,
+                                samples_per_step=4, batch_size=4,
+                                embedding_dim=8, seed=spec.seed)
+    return BlackBoxEnvironment(system), config, 4
+
+
+def fleet_specs(campaigns, steps, chaos_rate):
+    """The soak fleet: alternating rankers, one seed per campaign."""
+    return [CampaignSpec(name=f"c{i:02d}",
+                         ranker=RANKERS[i % len(RANKERS)],
+                         seed=i, steps=steps, chaos_rate=chaos_rate,
+                         max_retries=6)
+            for i in range(campaigns)]
+
+
+def fingerprint(agent):
+    return {"history": [[s.step, s.mean_reward, s.max_reward,
+                         list(s.losses)]
+                        for s in agent.result.history],
+            "best": agent.result.best_reward}
+
+
+def fingerprints(scheduler):
+    """Per-campaign fingerprints, loading checkpoints where needed.
+
+    Campaigns that completed in a *previous* process have no live agent
+    after a resume; their full history lives in the checkpoint.
+    """
+    out = {}
+    for name, record in scheduler.records.items():
+        agent = record.agent
+        if agent is None:
+            env, config, _ = build(record.spec)
+            agent = PoisonRec(env, config,
+                              action_space=record.spec.action_space)
+            load_campaign(agent, record.checkpoint_path)
+        out[name] = fingerprint(agent)
+    return out
+
+
+def main(argv):
+    mode, fleet_dir = argv[0], argv[1]
+    options = json.loads(argv[2]) if len(argv) > 2 else {}
+    worker_chaos = None
+    if options.get("worker_kills") or options.get("worker_stalls"):
+        worker_chaos = WorkerFaultPlan(
+            kill_rate=options.get("worker_kills", 0.0),
+            stall_rate=options.get("worker_stalls", 0.0),
+            stall_seconds=2.0, seed=99)
+    scheduler = CampaignScheduler(
+        fleet_dir,
+        workers=options.get("workers", 1),
+        slice_steps=options.get("slice_steps", 2),
+        stall_timeout=options.get("stall_timeout"),
+        worker_chaos=worker_chaos,
+        builder=build)
+    if mode == "resume":
+        scheduler.resume()
+    else:
+        for spec in fleet_specs(options.get("campaigns", 2),
+                                options.get("steps", 4),
+                                options.get("chaos", 0.0)):
+            scheduler.submit(spec)
+    step_delay = options.get("step_delay", 0.0)
+    if step_delay:
+        # Slow the fleet down so a parent test has a window to kill or
+        # signal this process mid-grid (wall clock only — results are
+        # unaffected).
+        original = scheduler.telemetry.observe
+
+        def slow_observe(name, stats):
+            original(name, stats)
+            time.sleep(step_delay)
+
+        scheduler.telemetry.observe = slow_observe
+    result = scheduler.run(handle_signals=True)
+    payload = {
+        "drained": result.drained,
+        "completed": sorted(result.completed),
+        "failed": sorted(result.failed),
+        "tier": result.tier,
+        "pool_crashes": result.pool_crashes,
+        "fingerprints": fingerprints(scheduler),
+    }
+    path = pathlib.Path(fleet_dir) / f"result-{mode}.json"
+    path.write_text(json.dumps(payload, sort_keys=True))
+    return 1 if result.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,92 @@
+"""CampaignSpec validation/serialization and CampaignRecord state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (CampaignRecord, CampaignSpec, CampaignStatus,
+                         grid_specs)
+from repro.serve.grid import DEFAULT_ACTION_SPACES, DEFAULT_RANKERS
+
+
+class TestCampaignSpec:
+    def test_json_roundtrip(self):
+        spec = CampaignSpec(name="probe", ranker="pmf", seed=3, steps=7,
+                            priority=2.0, chaos_rate=0.1)
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_json_fields_rejected(self):
+        data = CampaignSpec(name="probe").to_json()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown field"):
+            CampaignSpec.from_json(data)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"name": "a/b"},
+        {"name": "a\\b"},
+        {"name": "x", "priority": 0.0},
+        {"name": "x", "chaos_rate": 1.5},
+        {"name": "x", "steps": 0},
+        {"name": "x", "max_retries": -1},
+        {"name": "x", "failure_budget": -1},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignSpec(**kwargs)
+
+
+class TestCampaignRecord:
+    def test_lifecycle_defaults(self, tmp_path):
+        record = CampaignRecord(CampaignSpec(name="a", steps=5), tmp_path,
+                                submit_order=0)
+        assert record.status is CampaignStatus.PENDING
+        assert not record.status.terminal
+        assert record.steps_done == 0
+        assert record.remaining == 5
+        assert record.checkpoint_path == tmp_path / "a.npz"
+
+    def test_terminal_statuses(self):
+        assert CampaignStatus.COMPLETED.terminal
+        assert CampaignStatus.FAILED.terminal
+        assert not CampaignStatus.RUNNING.terminal
+        assert not CampaignStatus.RESTARTING.terminal
+
+    def test_fair_share_prefers_least_weighted_progress(self, tmp_path):
+        class FakeAgent:
+            def __init__(self, step):
+                self.step = step
+
+        low = CampaignRecord(CampaignSpec(name="low", steps=10), tmp_path, 0)
+        high = CampaignRecord(
+            CampaignSpec(name="high", steps=10, priority=2.0), tmp_path, 1)
+        low.agent = FakeAgent(4)
+        high.agent = FakeAgent(6)
+        # 6 steps at priority 2 is *less* weighted progress than 4 at 1.
+        assert high.fair_share_key < low.fair_share_key
+
+    def test_fair_share_ties_break_by_submit_order(self, tmp_path):
+        first = CampaignRecord(CampaignSpec(name="x", steps=3), tmp_path, 0)
+        second = CampaignRecord(CampaignSpec(name="y", steps=3), tmp_path, 1)
+        assert first.fair_share_key < second.fair_share_key
+
+
+class TestGrid:
+    def test_grid_covers_every_cell(self):
+        specs = grid_specs(steps=3, chaos_rate=0.1)
+        expected = len(DEFAULT_RANKERS) * len(DEFAULT_ACTION_SPACES)
+        assert len(specs) == expected
+        names = {spec.name for spec in specs}
+        assert len(names) == expected
+        assert all(spec.steps == 3 and spec.chaos_rate == 0.1
+                   for spec in specs)
+
+    def test_grid_names_encode_the_cell(self):
+        specs = grid_specs(rankers=["pmf"], action_spaces=["plain"])
+        assert specs[0].name == "pmf-plain"
+        assert specs[0].ranker == "pmf"
+        assert specs[0].action_space == "plain"
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_specs(rankers=[])

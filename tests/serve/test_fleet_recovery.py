@@ -1,0 +1,151 @@
+"""Orchestrator-death recovery: kill -9 mid-grid, SIGTERM drains, soak.
+
+These tests drive :mod:`tests.serve.fleet_driver` as a subprocess so
+the *orchestrator process itself* can be killed or signalled, then
+assert the resumed fleet reproduces the fault-free run bit-for-bit —
+the PR's acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from . import fleet_driver
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+HAS_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK,
+                                reason="fork start method unavailable")
+
+
+def driver_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{current}" if current else src
+    return env
+
+
+def spawn_driver(mode, fleet_dir, options):
+    return subprocess.Popen(
+        [sys.executable, "-m", "tests.serve.fleet_driver", mode,
+         str(fleet_dir), json.dumps(options)],
+        cwd=REPO_ROOT, env=driver_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def run_driver(mode, fleet_dir, options):
+    process = spawn_driver(mode, fleet_dir, options)
+    assert process.wait(timeout=300) == 0
+    return read_result(fleet_dir, mode)
+
+
+def read_result(fleet_dir, mode):
+    return json.loads(
+        (pathlib.Path(fleet_dir) / f"result-{mode}.json").read_text())
+
+
+def wait_for_slices(journal_path, count, timeout=120.0):
+    """Block until the fleet journal records ``count`` slice events."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal_path.exists():
+            slices = journal_path.read_text().count('"event": "slice"')
+            if slices >= count:
+                return
+        time.sleep(0.02)
+    raise AssertionError(
+        f"journal never reached {count} slice events within {timeout}s")
+
+
+def baseline_fingerprints(tmp_path, options):
+    """Fault-free serial fingerprints for the same fleet, in-process."""
+    clean = dict(options)
+    for key in ("chaos", "worker_kills", "worker_stalls", "stall_timeout",
+                "step_delay"):
+        clean.pop(key, None)
+    clean["workers"] = 1
+    directory = tmp_path / "baseline"
+    assert fleet_driver.main(["run", str(directory),
+                              json.dumps(clean)]) == 0
+    return read_result(directory, "run")["fingerprints"]
+
+
+class TestKillNineRecovery:
+    def test_kill_nine_mid_grid_resumes_bit_identically(self, tmp_path):
+        """Satellite 3: SIGKILL the scheduler mid-grid; the resumed
+        fleet's histories match an uninterrupted run exactly."""
+        options = {"campaigns": 3, "steps": 6, "slice_steps": 1,
+                   "step_delay": 0.2}
+        clean = baseline_fingerprints(tmp_path, options)
+
+        fleet_dir = tmp_path / "fleet"
+        victim = spawn_driver("run", fleet_dir, options)
+        try:
+            wait_for_slices(fleet_dir / "journal.jsonl", 3)
+            os.kill(victim.pid, signal.SIGKILL)
+            assert victim.wait(timeout=60) == -signal.SIGKILL
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        # The victim died without writing a result.
+        assert not (fleet_dir / "result-run.json").exists()
+
+        resumed = run_driver("resume", fleet_dir,
+                             {"slice_steps": 1})
+        assert resumed["completed"] == ["c00", "c01", "c02"]
+        assert resumed["failed"] == []
+        assert resumed["fingerprints"] == clean
+
+
+@needs_fork
+class TestChaosSoak:
+    """The acceptance soak: 8 campaigns, worker kills + stalls +
+    transient environment faults, over a 2-worker pool."""
+
+    SOAK = {"campaigns": 8, "steps": 3, "slice_steps": 2, "workers": 2,
+            "chaos": 0.1, "worker_kills": 0.15, "worker_stalls": 0.08,
+            "stall_timeout": 0.3}
+
+    def test_soak_completes_bit_identical_to_fault_free_serial(
+            self, tmp_path):
+        clean = baseline_fingerprints(tmp_path, self.SOAK)
+        soaked = run_driver("run", tmp_path / "fleet", self.SOAK)
+        assert soaked["failed"] == []
+        assert len(soaked["completed"]) == 8
+        assert soaked["fingerprints"] == clean
+
+    def test_sigterm_mid_soak_drains_and_resumes_bit_identically(
+            self, tmp_path):
+        options = dict(self.SOAK, step_delay=0.2)
+        clean = baseline_fingerprints(tmp_path, self.SOAK)
+
+        fleet_dir = tmp_path / "fleet"
+        victim = spawn_driver("run", fleet_dir, options)
+        try:
+            wait_for_slices(fleet_dir / "journal.jsonl", 3)
+            os.kill(victim.pid, signal.SIGTERM)
+            # A drain is a clean exit: in-flight queries finish, every
+            # campaign checkpoints, exit code 0.
+            assert victim.wait(timeout=120) == 0
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        drained = read_result(fleet_dir, "run")
+        assert drained["drained"]
+        journal = (fleet_dir / "journal.jsonl").read_text()
+        assert '"event": "drain"' in journal
+
+        resumed = run_driver("resume", fleet_dir, self.SOAK)
+        assert resumed["failed"] == []
+        assert len(resumed["completed"]) == 8
+        assert resumed["fingerprints"] == clean

@@ -1,0 +1,128 @@
+"""Scheduler journal: durability, torn-tail tolerance, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.errors import CorruptCheckpointError
+from repro.serve import SchedulerJournal, read_events, replay
+from repro.serve.campaign import CampaignSpec
+
+
+def write_fleet(path, events):
+    with SchedulerJournal(path) as journal:
+        for event in events:
+            journal.append(event)
+
+
+def submit_event(name, **kwargs):
+    return {"event": "submit", "name": name,
+            "spec": CampaignSpec(name=name, **kwargs).to_json()}
+
+
+class TestJournalFile:
+    def test_events_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        events = [submit_event("a", steps=3),
+                  {"event": "status", "name": "a", "status": "running"},
+                  {"event": "slice", "name": "a", "step": 2}]
+        write_fleet(path, events)
+        assert read_events(path) == events
+
+    def test_append_requires_event_key(self, tmp_path):
+        with SchedulerJournal(tmp_path / "j.jsonl") as journal:
+            with pytest.raises(ValueError):
+                journal.append({"name": "a"})
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [submit_event("a", steps=3)])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "slice", "name": "a", "st')
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["submit"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [submit_event("a", steps=3)])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # garble a non-final line
+        lines.append(json.dumps({"event": "drain"}))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CorruptCheckpointError, match="garbled"):
+            read_events(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"event": "drain"}\n')
+        with pytest.raises(CorruptCheckpointError, match="format header"):
+            read_events(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps(
+            {"event": "format", "format": "poisonrec-fleet-journal",
+             "version": 999}) + "\n")
+        with pytest.raises(CorruptCheckpointError, match="unsupported"):
+            read_events(path)
+
+
+class TestReplay:
+    def test_replay_folds_fleet_state(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [
+            submit_event("a", steps=4),
+            submit_event("b", steps=4),
+            {"event": "status", "name": "a", "status": "running"},
+            {"event": "slice", "name": "a", "step": 2},
+            {"event": "status", "name": "b", "status": "running"},
+            {"event": "slice", "name": "b", "step": 2},
+            {"event": "slice", "name": "a", "step": 4},
+            {"event": "status", "name": "a", "status": "completed",
+             "step": 4},
+            {"event": "tier", "tier": "serial", "workers": 1},
+        ])
+        ledger = replay(path)
+        assert ledger.campaigns["a"].status == "completed"
+        assert ledger.campaigns["a"].steps_done == 4
+        assert ledger.campaigns["b"].status == "running"
+        assert ledger.campaigns["b"].steps_done == 2
+        assert ledger.tier == "serial"
+        assert [entry.spec["name"] for entry in ledger.pending()] == ["b"]
+
+    def test_replay_tracks_restarts_and_errors(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [
+            submit_event("a", steps=4),
+            {"event": "status", "name": "a", "status": "restarting",
+             "restarts": 2, "error": "boom"},
+            {"event": "status", "name": "a", "status": "failed",
+             "error": "gave up", "restarts": 2},
+        ])
+        entry = replay(path).campaigns["a"]
+        assert entry.status == "failed"
+        assert entry.restarts == 2
+        assert entry.error == "gave up"
+        assert list(replay(path).pending()) == []
+
+    def test_replay_records_drain_as_resumable(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [submit_event("a", steps=4),
+                           {"event": "drain", "reason": "sigterm"}])
+        ledger = replay(path)
+        assert ledger.drained
+        assert [e.spec["name"] for e in ledger.pending()] == ["a"]
+
+    def test_replay_rejects_events_for_unknown_campaigns(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [{"event": "slice", "name": "ghost", "step": 1}])
+        with pytest.raises(CorruptCheckpointError, match="unsubmitted"):
+            replay(path)
+
+    def test_unknown_events_are_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_fleet(path, [submit_event("a", steps=4),
+                           {"event": "future-extension", "payload": 1}])
+        assert "a" in replay(path).campaigns

@@ -44,6 +44,48 @@ class TestParser:
         assert args.resume is False
         assert args.max_retries == 3
 
+    def test_chaos_composes_with_workers(self):
+        """The pooled/chaos restriction is lifted: content-keyed fault
+        schedules make chaos runs worker-count independent."""
+        args = build_parser().parse_args(
+            ["attack", "--chaos", "0.2", "--workers", "3"])
+        assert args.chaos == pytest.approx(0.2)
+        assert args.workers == 3
+
+    def test_submit_arguments(self):
+        args = build_parser().parse_args(
+            ["submit", "--dir", "fleet", "--name", "exp1",
+             "--ranker", "bpr", "--priority", "2.5", "--chaos", "0.1"])
+        assert args.dir == "fleet"
+        assert args.name == "exp1"
+        assert args.ranker == "bpr"
+        assert args.priority == pytest.approx(2.5)
+
+    def test_submit_requires_dir_and_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--name", "exp1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--dir", "fleet"])
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--dir", "fleet", "--grid", "--workers", "2",
+             "--slice-steps", "3", "--stall-timeout", "5.0",
+             "--worker-kills", "0.1", "--worker-stalls", "0.05"])
+        assert args.grid is True
+        assert args.workers == 2
+        assert args.slice_steps == 3
+        assert args.stall_timeout == pytest.approx(5.0)
+        assert args.worker_kills == pytest.approx(0.1)
+        assert args.worker_stalls == pytest.approx(0.05)
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--dir", "fleet"])
+        assert args.resume is False
+        assert args.grid is False
+        assert args.workers == 1
+        assert args.stall_timeout is None
+
 
 class TestCommands:
     def test_datasets_prints_table(self, capsys):
@@ -91,3 +133,26 @@ class TestCommands:
         assert main(argv + ["--resume"]) == 0
         out = capsys.readouterr().out
         assert f"resuming campaign from {ck}" in out
+
+    @pytest.mark.slow
+    def test_submit_then_serve_resume_completes_fleet(self, capsys,
+                                                      tmp_path):
+        fleet = str(tmp_path / "fleet")
+        for name, ranker in (("a", "itempop"), ("b", "covisitation")):
+            assert main(["submit", "--dir", fleet, "--name", name,
+                         "--ranker", ranker, "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted campaign 'a'" in out
+        assert "submitted campaign 'b'" in out
+
+        assert main(["serve", "--dir", fleet, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 campaign(s)" in out
+        assert "completed" in out
+
+    def test_submit_duplicate_name_is_an_error(self, capsys, tmp_path):
+        fleet = str(tmp_path / "fleet")
+        assert main(["submit", "--dir", fleet, "--name", "dup"]) == 0
+        capsys.readouterr()
+        assert main(["submit", "--dir", fleet, "--name", "dup"]) == 2
+        assert "already exists" in capsys.readouterr().err
