@@ -15,6 +15,8 @@ Quickstart
 from .core import (PoisonRec, PoisonRecConfig, TrainResult, build_bcbt,
                    make_action_space)
 from .data import Dataset, InteractionLog, load_dataset
+from .obs import (MetricsRegistry, RunTelemetry, Tracer, load_run,
+                  phase_rollup, write_chrome_trace)
 from .perf import QueryPool, QueryProfiler
 from .recsys import (RANKER_NAMES, BlackBoxEnvironment, RecommenderSystem,
                      make_ranker)
@@ -31,5 +33,7 @@ __all__ = [
     "FaultPlan", "FaultyEnvironment", "ResilienceConfig",
     "load_campaign", "save_campaign",
     "QueryPool", "QueryProfiler",
+    "MetricsRegistry", "RunTelemetry", "Tracer", "load_run",
+    "phase_rollup", "write_chrome_trace",
     "__version__",
 ]

@@ -10,7 +10,10 @@ Usage (after ``pip install -e .``)::
         --checkpoint campaign.npz --resume
     python -m repro compare --dataset steam --ranker covisitation
     python -m repro submit --dir fleet --name pmf-probe --ranker pmf
-    python -m repro serve --dir fleet --resume --workers 4
+    python -m repro serve --dir fleet --resume --workers 4 \
+        --obs-log fleet/obs.jsonl
+    python -m repro trace fleet/obs.jsonl --export trace.json
+    python -m repro metrics fleet/obs.jsonl
 """
 
 from __future__ import annotations
@@ -25,10 +28,13 @@ from .core import PoisonRec
 from .perf import QueryPool
 from .data import DATASET_NAMES, load_dataset
 from .experiments import SCALES, build_environment, format_table, run_baseline
+from .obs import RunTelemetry, load_run, write_chrome_trace
+from .obs.cli import render_events, render_metrics, render_trace
 from .recsys import RANKER_NAMES
 from .recsys.evaluation import evaluate_ranking, random_baseline_quality
 from .runtime import (FaultPlan, FaultyEnvironment, ResilienceConfig,
                       RetryPolicy, WorkerFaultPlan, as_npz_path)
+from .runtime.errors import CorruptCheckpointError
 from .serve import (DEFAULT_ACTION_SPACES, DEFAULT_RANKERS, CampaignScheduler,
                     CampaignSpec, FleetTelemetry, SchedulerJournal,
                     grid_specs, replay)
@@ -87,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fan reward queries out over N forked system "
                              "replicas; bit-identical to serial "
                              "(poisonrec only, default: 1)")
+    attack.add_argument("--obs-log", default=None, metavar="PATH",
+                        help="crash-safe JSONL run telemetry log "
+                             "(render with repro trace / repro metrics; "
+                             "poisonrec only)")
 
     compare = subparsers.add_parser(
         "compare", help="run every attack method against one testbed")
@@ -153,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="RATE",
                        help="seeded worker-stall injection rate "
                             "(fleet chaos)")
+    serve.add_argument("--obs-log", default=None, metavar="PATH",
+                       help="crash-safe JSONL run telemetry log "
+                            "(render with repro trace / repro metrics)")
+
+    trace = subparsers.add_parser(
+        "trace", help="render the span rollup of an obs run log")
+    trace.add_argument("log", help="obs run log (--obs-log output)")
+    trace.add_argument("--export", default=None, metavar="PATH",
+                       help="also write a Chrome trace (chrome://tracing "
+                            "/ Perfetto JSON) to PATH")
+
+    metrics = subparsers.add_parser(
+        "metrics", help="render the metrics dashboard of an obs run log")
+    metrics.add_argument("log", help="obs run log (--obs-log output)")
+    metrics.add_argument("--events", type=int, default=0, metavar="N",
+                         help="also print the last N narrator events")
 
     check = subparsers.add_parser(
         "check", help="run the static analyzers (graphlint + shapecheck "
@@ -213,13 +239,19 @@ def cmd_attack(args: argparse.Namespace) -> int:
             attack_env = chaos
             print(f"chaos mode: {args.chaos:.0%} injected fault rate "
                   f"(seed {args.seed})")
+        obs = RunTelemetry(args.obs_log) if args.obs_log else None
         pool = None
         if args.workers > 1:
             pool = QueryPool(attack_env, workers=args.workers)
             mode = "parallel" if pool.parallel else "serial fallback"
             print(f"query pool: {args.workers} workers ({mode})")
+            if obs is not None:
+                # Parent-side only: workers fork before these attach.
+                pool.tracer = obs.tracer
+                pool.metrics = obs.metrics
         agent = PoisonRec(attack_env, scale.config(seed=args.seed),
-                          action_space=args.action_space, query_pool=pool)
+                          action_space=args.action_space, query_pool=pool,
+                          obs=obs)
         resilience = None
         if args.chaos > 0.0 or args.checkpoint:
             resilience = ResilienceConfig(
@@ -242,6 +274,8 @@ def cmd_attack(args: argparse.Namespace) -> int:
         finally:
             if pool is not None:
                 pool.close()
+            if obs is not None:
+                obs.close()
         print(f"poisonrec best RecNum: {agent.result.best_reward:.0f}")
         if pool is not None and pool.crashes:
             print(f"query pool: healed {pool.crashes} worker crash(es), "
@@ -264,6 +298,9 @@ def cmd_attack(args: argparse.Namespace) -> int:
                       f"(served queries: {chaos.query_count})")
         if args.checkpoint:
             print(f"campaign checkpoint: {as_npz_path(args.checkpoint)}")
+        if args.obs_log:
+            print(f"obs run log: {args.obs_log} (render with "
+                  f"repro trace / repro metrics)")
     else:
         recnum = run_baseline(args.method, env, system, scale,
                               seed=args.seed)
@@ -328,10 +365,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         worker_chaos = WorkerFaultPlan(kill_rate=args.worker_kills,
                                        stall_rate=args.worker_stalls,
                                        seed=args.seed)
+    obs = RunTelemetry(args.obs_log) if args.obs_log else None
     scheduler = CampaignScheduler(
         args.dir, workers=args.workers, slice_steps=args.slice_steps,
         stall_timeout=args.stall_timeout, worker_chaos=worker_chaos,
-        telemetry=FleetTelemetry(stream=sys.stdout))
+        telemetry=FleetTelemetry(stream=sys.stdout, obs=obs), obs=obs)
     if args.resume:
         scheduler.resume()
     if args.grid:
@@ -348,7 +386,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     print(f"fleet: {len(scheduler.records)} campaign(s), "
           f"{args.workers} worker(s), slice={args.slice_steps} step(s)")
-    result = scheduler.run(handle_signals=True)
+    try:
+        result = scheduler.run(handle_signals=True)
+    finally:
+        if obs is not None:
+            obs.close()
+    if args.obs_log:
+        print(f"obs run log: {args.obs_log} (render with "
+              f"repro trace / repro metrics)")
     print(scheduler.telemetry.render_table(result.records))
     totals = scheduler.telemetry.phase_totals()
     if totals:
@@ -367,6 +412,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"failed campaign(s): {', '.join(sorted(result.failed))}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: flamegraph-style span rollup of an obs run log."""
+    try:
+        replay = load_run(args.log)
+    except (OSError, CorruptCheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_trace(replay))
+    if args.export:
+        write_chrome_trace(args.export, replay.spans, replay.events)
+        print(f"chrome trace written to {args.export} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: counters/gauges/histograms dashboard of a run log."""
+    try:
+        replay = load_run(args.log)
+    except (OSError, CorruptCheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_metrics(replay))
+    if args.events:
+        print()
+        print(render_events(replay, limit=args.events))
     return 0
 
 
@@ -389,6 +463,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "submit": cmd_submit,
     "serve": cmd_serve,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "check": cmd_check,
 }
 

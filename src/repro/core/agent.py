@@ -19,19 +19,30 @@ Each step samples all ``M`` rollouts up front and then observes their
 rewards as one batch, so the queries can be fanned out over a
 :class:`~repro.perf.pool.QueryPool` of forked system replicas without
 changing a single observed number (see :mod:`repro.perf`).
+
+Attaching a :class:`~repro.obs.run.RunTelemetry` to :attr:`PoisonRec.obs`
+traces the hot path (``train_step`` → ``sample`` / ``query_batch`` /
+``ppo_update``, with per-query phase spans reconstructed from the
+timings each :class:`~repro.perf.pool.QueryOutcome` carries — pooled or
+serial) and counts queries/retries/quarantines in the metrics registry.
+Tracing reads the monotonic clock only, so an instrumented campaign's
+``TrainResult.history`` is bit-identical to the untraced run.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..effects import sanctioned_channel
 from ..nn.anomaly import AnomalyError, detect_anomaly
 from ..perf.pool import QueryOutcome, QueryPool
+from ..perf.profile import PhaseDelta, find_profiler
 from ..recsys.system import BlackBoxEnvironment
 from ..runtime.checkpoint import PathLike, load_campaign, save_campaign
 from ..runtime.errors import (CampaignDivergenceError, CorruptRewardError,
@@ -99,15 +110,26 @@ class PoisonRec:
         pool's exact-equivalence guarantee the campaign's history is
         bit-identical to the serial run on the same seed; the pool is
         a pure wall-clock optimization.
+    obs:
+        Optional :class:`~repro.obs.run.RunTelemetry` tracing the
+        training hot path and counting queries/retries/quarantines.
+        Purely observational: enabling it leaves the campaign history
+        bit-identical.
     """
 
     def __init__(self, env: BlackBoxEnvironment,
                  config: Optional[PoisonRecConfig] = None,
                  action_space: str | ActionSpace = "bcbt-popular",
-                 query_pool: Optional[QueryPool] = None) -> None:
+                 query_pool: Optional[QueryPool] = None,
+                 obs=None) -> None:
         self.env = env
         self.query_pool = query_pool
         self.config = config or PoisonRecConfig()
+        #: Labels stamped on this agent's spans and metrics (the
+        #: scheduler sets ``{"campaign": name}`` so fleet traces are
+        #: attributable per campaign).
+        self.obs_attrs: Dict[str, str] = {}
+        self._obs = obs
         if isinstance(action_space, str):
             action_space = make_action_space(
                 action_space, env.num_original_items, env.target_items,
@@ -126,12 +148,29 @@ class PoisonRec:
         self.result = TrainResult()
         self.reward_moments = RunningMoments()
         self._step = 0
+        self.trainer.tracer = obs.tracer if obs is not None else None
 
     # ------------------------------------------------------------------
     @property
     def step(self) -> int:
         """Completed training steps (continues across checkpoint resumes)."""
         return self._step
+
+    @property
+    def obs(self):
+        """The attached :class:`~repro.obs.run.RunTelemetry` (or None)."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        self.trainer.tracer = value.tracer if value is not None else None
+
+    def _span(self, name: str, **attrs):
+        """A traced span carrying :attr:`obs_attrs`, or a no-op context."""
+        if self._obs is None:
+            return nullcontext()
+        return self._obs.span(name, **self.obs_attrs, **attrs)
 
     def sample_attack(self) -> Rollout:
         """Sample one set of N trajectories from the current policy."""
@@ -237,17 +276,68 @@ class PoisonRec:
                 retry=state.config.retry if state is not None else None,
                 rng=state.rng if state is not None else None,
                 sleep=state.config.sleep if state is not None else None)
+        observing = self._obs is not None
+        profiler = find_profiler(self.env) if observing else None
         outcomes: List[QueryOutcome] = []
         for rollout in rollouts:
+            delta = PhaseDelta(profiler) if observing else None
+            began = time.perf_counter() if observing else 0.0
             try:
                 reward, attempts = self._query(rollout.trajectories(), state)
             except RetriesExhaustedError as error:
-                outcomes.append(QueryOutcome(
+                outcome = QueryOutcome(
                     reward=None, retries=max(error.attempts - 1, 0),
-                    error=error))
-                continue
-            outcomes.append(QueryOutcome(reward=reward, retries=attempts))
+                    error=error)
+            else:
+                outcome = QueryOutcome(reward=reward, retries=attempts)
+            if observing:
+                outcome.seconds = time.perf_counter() - began
+                outcome.phases, outcome.phase_calls = delta.delta()
+            outcomes.append(outcome)
         return outcomes
+
+    def _record_queries(self, outcomes: List[QueryOutcome],
+                        parent) -> None:
+        """Synthesize per-query spans from the timings outcomes carry.
+
+        Pooled queries execute concurrently in forked workers, so their
+        true start times never reach the parent; the spans are laid out
+        *sequentially* from the batch span's start (durations exact,
+        placement approximate — flagged ``synthetic``).  Each query span
+        nests the restore/merge/retrain/score phase spans the worker (or
+        the serial path) measured.  Metrics count every outcome either
+        way.
+        """
+        if self._obs is None:
+            return
+        metrics = self._obs.metrics
+        for outcome in outcomes:
+            metrics.counter("agent.queries", **self.obs_attrs).inc()
+            if outcome.retries:
+                metrics.counter("agent.retries",
+                                **self.obs_attrs).inc(outcome.retries)
+            if outcome.reward is None:
+                metrics.counter("agent.quarantined",
+                                **self.obs_attrs).inc()
+        if parent is None:
+            return
+        tracer = self._obs.tracer
+        cursor = parent.start
+        for i, outcome in enumerate(outcomes):
+            if outcome.seconds is None:
+                continue
+            query = tracer.add(
+                "query", cursor, cursor + outcome.seconds,
+                parent_id=parent.span_id, index=i, synthetic=True,
+                pooled=outcome.pooled, **self.obs_attrs)
+            offset = cursor
+            for phase, seconds in (outcome.phases or {}).items():
+                tracer.add(phase, offset, offset + seconds,
+                           parent_id=query.span_id, synthetic=True)
+                metrics.histogram("agent.phase_seconds",
+                                  phase=phase).observe(seconds)
+                offset += seconds
+            cursor += outcome.seconds
 
     def train_step(self) -> StepStats:
         """One iteration of Algorithm 1's outer loop."""
@@ -258,25 +348,35 @@ class PoisonRec:
         experiences: List[Experience] = []
         retries = 0
         quarantined = 0
-        rollouts = [self.sample_attack() for _ in range(cfg.samples_per_step)]
-        outcomes = self._query_batch(rollouts, state)
-        for rollout, outcome in zip(rollouts, outcomes):
-            retries += outcome.retries
-            if outcome.reward is None:
-                # Degrade gracefully: drop this sample, keep the batch.
-                quarantined += 1
-                if state is not None:
-                    state.budget.spend(reason=str(outcome.error))
-                continue
-            reward = outcome.reward
-            experiences.append(Experience(rollout=rollout, reward=reward))
-            self.reward_moments.update(reward)
-            if reward > self.result.best_reward:
-                self.result.best_reward = reward
-                self.result.best_trajectories = rollout.trajectories()
-        losses = (self.trainer.update(experiences, epochs=cfg.ppo_epochs,
-                                      batch_size=cfg.batch_size)
-                  if experiences else [])
+        with self._span("train_step", step=self._step):
+            with self._span("sample", samples=cfg.samples_per_step):
+                rollouts = [self.sample_attack()
+                            for _ in range(cfg.samples_per_step)]
+            with self._span("query_batch",
+                            samples=len(rollouts)) as batch_span:
+                outcomes = self._query_batch(rollouts, state)
+            self._record_queries(outcomes, batch_span)
+            for rollout, outcome in zip(rollouts, outcomes):
+                retries += outcome.retries
+                if outcome.reward is None:
+                    # Degrade gracefully: drop this sample, keep the
+                    # batch.
+                    quarantined += 1
+                    if state is not None:
+                        state.budget.spend(reason=str(outcome.error))
+                    continue
+                reward = outcome.reward
+                experiences.append(Experience(rollout=rollout,
+                                              reward=reward))
+                self.reward_moments.update(reward)
+                if reward > self.result.best_reward:
+                    self.result.best_reward = reward
+                    self.result.best_trajectories = rollout.trajectories()
+            with self._span("ppo_update", examples=len(experiences)):
+                losses = (self.trainer.update(experiences,
+                                              epochs=cfg.ppo_epochs,
+                                              batch_size=cfg.batch_size)
+                          if experiences else [])
         rewards = [e.reward for e in experiences]
         stats = StepStats(
             step=self._step,

@@ -9,6 +9,7 @@ the same (normalized) advantage.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -54,6 +55,15 @@ class PPOTrainer:
         #: for ablation studies — raw RecNum advantages destabilize PPO.
         self.normalize = normalize
         self.rng = np.random.default_rng(seed)
+        #: Optional :class:`~repro.obs.trace.Tracer` wrapping each PPO
+        #: epoch in a ``ppo_epoch`` span (wired by the agent's ``obs``).
+        self.tracer = None
+
+    def _span(self, name: str, **attrs):
+        """A traced span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
 
     # ------------------------------------------------------------------
     def _flatten(self, experiences: Sequence[Experience]) -> tuple:
@@ -93,14 +103,16 @@ class PPOTrainer:
         # Full-batch epochs all see the same examples, so the stacked
         # arrays are loop-invariant: flatten once, reuse every epoch.
         flat = None if subsample else self._flatten(list(experiences))
-        for _ in range(epochs):
-            if subsample:
-                chosen = self.rng.choice(len(experiences), size=batch_size,
-                                         replace=False)
-                batch = [experiences[i] for i in chosen]
-                losses.append(self._update_once(batch))
-            else:
-                losses.append(self._step(flat))
+        for epoch in range(epochs):
+            with self._span("ppo_epoch", epoch=epoch):
+                if subsample:
+                    chosen = self.rng.choice(len(experiences),
+                                             size=batch_size,
+                                             replace=False)
+                    batch = [experiences[i] for i in chosen]
+                    losses.append(self._update_once(batch))
+                else:
+                    losses.append(self._step(flat))
         return losses
 
     def _update_once(self, batch: Sequence[Experience]) -> float:

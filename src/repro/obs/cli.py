@@ -1,0 +1,93 @@
+"""Rendering helpers behind ``repro trace`` and ``repro metrics``.
+
+Pure text formatting over a :class:`~repro.obs.run.RunReplay`: the
+flamegraph-style phase rollup (indented tree, seconds, calls, share of
+the root), the fleet dashboard (counters/gauges tables, histogram
+summaries) and the event tail.  Kept separate from ``repro.cli`` so
+tests can assert on strings without spawning the argument parser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..experiments.tables import format_table
+from .run import RunReplay, phase_rollup
+
+
+def render_trace(replay: RunReplay, width: int = 40) -> str:
+    """Flamegraph-style phase rollup of a run's spans, as text.
+
+    One line per distinct span *path*, indented by depth, with total
+    seconds, call count and percentage of the trace's root total.
+    """
+    rollup = phase_rollup(replay.spans)
+    if not rollup:
+        return "(no spans recorded)"
+    roots = {path: entry for path, entry in rollup.items()
+             if "/" not in path}
+    total = sum(entry["seconds"] for entry in roots.values())
+    lines = [f"{'span':<{width}} {'seconds':>9} {'calls':>7} {'%':>6}"]
+    for path in sorted(rollup):
+        entry = rollup[path]
+        depth = path.count("/")
+        label = ("  " * depth) + path.rsplit("/", 1)[-1]
+        share = (100.0 * entry["seconds"] / total) if total > 0 else 0.0
+        lines.append(f"{label:<{width}} {entry['seconds']:>9.3f} "
+                     f"{int(entry['calls']):>7d} {share:>5.1f}%")
+    lines.append(f"{len(replay.spans)} span(s), "
+                 f"{len(replay.events)} event(s), "
+                 f"root total {total:.3f}s")
+    return "\n".join(lines)
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{key}={value}"
+                    for key, value in sorted(labels.items()))
+
+
+def render_metrics(replay: RunReplay) -> str:
+    """Fleet dashboard: counters, gauges and histograms, as text."""
+    if not replay.metrics:
+        return "(no metrics snapshot in log)"
+    sections: List[str] = []
+    counters = [m for m in replay.metrics if m.get("kind") == "counter"]
+    gauges = [m for m in replay.metrics if m.get("kind") == "gauge"]
+    histograms = [m for m in replay.metrics
+                  if m.get("kind") == "histogram"]
+    if counters:
+        rows = [[m["name"], _label_text(m.get("labels", {})),
+                 f"{m['value']:g}"] for m in counters]
+        sections.append(format_table(["counter", "labels", "total"],
+                                     rows))
+    if gauges:
+        rows = [[m["name"], _label_text(m.get("labels", {})),
+                 "-" if m["value"] is None else f"{m['value']:g}"]
+                for m in gauges]
+        sections.append(format_table(["gauge", "labels", "value"], rows))
+    if histograms:
+        rows = []
+        for m in histograms:
+            count = int(m.get("count", 0))
+            mean = (m.get("total", 0.0) / count) if count else 0.0
+            rows.append([m["name"], _label_text(m.get("labels", {})),
+                         count, f"{m.get('total', 0.0):.3f}",
+                         f"{mean * 1e3:.2f}"])
+        sections.append(format_table(
+            ["histogram", "labels", "count", "total_s", "mean_ms"],
+            rows))
+    return "\n\n".join(sections)
+
+
+def render_events(replay: RunReplay, limit: int = 20) -> str:
+    """The last ``limit`` narrator events of a run, one per line."""
+    if not replay.events:
+        return "(no events recorded)"
+    tail = replay.events[-limit:]
+    lines = [f"== {event['message']}" for event in tail]
+    if len(replay.events) > limit:
+        lines.insert(0, f"... ({len(replay.events) - limit} earlier "
+                        "event(s) omitted)")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Chrome-trace exporter: open a run's spans in ``chrome://tracing``.
+
+Converts :class:`~repro.obs.trace.Span` lists into the Trace Event
+Format's JSON array form (``{"traceEvents": [...]}``): every closed
+span becomes one complete event (``"ph": "X"``) with microsecond
+timestamps, every obs event becomes a global instant marker
+(``"ph": "i"``), and logical process labels ("main", "worker-0") are
+mapped to stable numeric thread ids with ``thread_name`` metadata so
+the timeline groups by process.  Load the file in ``chrome://tracing``
+or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Sequence
+
+from ..runtime.checkpoint import PathLike
+from .trace import Span
+
+
+def chrome_trace(spans: Sequence[Span],
+                 events: Iterable[dict] = ()) -> dict:
+    """Build the Trace Event Format payload for ``spans`` + ``events``."""
+    procs = sorted({span.proc for span in spans})
+    tids: Dict[str, int] = {proc: i + 1 for i, proc in enumerate(procs)}
+    trace_events: List[dict] = []
+    for proc, tid in tids.items():
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+            "args": {"name": proc},
+        })
+    for span in spans:
+        if span.end is None:
+            continue
+        event = {
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.seconds * 1e6,
+            "pid": 1,
+            "tid": tids[span.proc],
+        }
+        if span.attrs:
+            event["args"] = {str(k): v for k, v in span.attrs.items()}
+        trace_events.append(event)
+    for record in events:
+        trace_events.append({
+            "name": record.get("message", "event"),
+            "ph": "i",
+            "ts": 0.0,
+            "pid": 1,
+            "tid": 0,
+            "s": "g",
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: PathLike, spans: Sequence[Span],
+                       events: Iterable[dict] = ()) -> pathlib.Path:
+    """Write the Chrome-trace JSON for ``spans`` to ``path``."""
+    path = pathlib.Path(path)
+    payload = chrome_trace(spans, events)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path

@@ -1,0 +1,139 @@
+"""Crash-safe JSONL sinks and readers shared by the journal and obs log.
+
+One discipline, two durability modes:
+
+* records are appended one JSON object per line, ``sort_keys`` and
+  ``allow_nan=False`` (non-finite floats are sanitized to ``None`` by
+  :func:`jsonable` first);
+* ``fsync=True`` (the scheduler journal) syncs every line — a
+  ``kill -9`` can at worst tear the final line;
+* ``fsync=False`` (the high-rate obs run log) flushes every line to
+  the OS and syncs only at explicit :meth:`JsonlSink.sync` points —
+  flushed data survives the *process* dying (only a host power loss or
+  a kill landing mid-``write`` can tear the tail).
+
+:func:`read_jsonl` applies the journal's torn-tail rule to any such
+file: a garbled or truncated *final* line is dropped (that record never
+committed), while corruption anywhere earlier raises
+:class:`~repro.runtime.errors.CorruptCheckpointError` — a crash
+mid-append cannot produce it, so it means real damage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import List, Optional
+
+from ..runtime.checkpoint import PathLike
+from ..runtime.errors import CorruptCheckpointError
+
+
+def jsonable(value):
+    """Recursively coerce ``value`` into strict-JSON-safe primitives.
+
+    Numpy scalars become Python ints/floats, non-finite floats become
+    ``None`` (strict JSON has no NaN/Inf), mappings and sequences are
+    converted element-wise, and anything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") \
+            else None
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class JsonlSink:
+    """Append-only JSONL writer with selectable durability.
+
+    Parameters
+    ----------
+    path:
+        File to append to (parent directories are created).
+    fsync:
+        Sync every record (journal-grade durability) instead of only
+        flushing; see the module docstring for the trade-off.
+    """
+
+    def __init__(self, path: PathLike, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self._handle = None
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        """Append one record (flushed; also fsynced in journal mode)."""
+        self._ensure_open()
+        line = json.dumps(jsonable(record), sort_keys=True,
+                          allow_nan=False)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def sync(self) -> None:
+        """Force everything appended so far onto disk."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Sync and release the handle (appends may resume later)."""
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike, what: str = "JSONL log",
+               expect_key: Optional[str] = None) -> List[dict]:
+    """Parse a JSONL file, dropping at most one torn final line.
+
+    ``what`` names the file kind in error messages; ``expect_key``
+    optionally requires every record to carry that key (e.g. the
+    journal's ``"event"`` discriminator).
+    """
+    path = pathlib.Path(path)
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: List[dict] = []
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if i == len(lines) - 1:
+                break  # torn tail: the writer died mid-append
+            raise CorruptCheckpointError(
+                f"{what} {path} line {i + 1} is garbled ({error}); "
+                f"only the final line can legally be torn"
+            ) from error
+        if not isinstance(record, dict) or (
+                expect_key is not None and expect_key not in record):
+            raise CorruptCheckpointError(
+                f"{what} {path} line {i + 1} is not a valid record")
+        records.append(record)
+    return records

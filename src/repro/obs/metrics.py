@@ -1,0 +1,169 @@
+"""Labeled metrics registry: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` hands out metric instruments keyed by
+``(name, labels)`` — the same name with different labels is a different
+time series, exactly as in Prometheus.  Everything is deterministic:
+instruments are plain Python accumulators, :meth:`MetricsRegistry.snapshot`
+emits them in sorted order, and histogram bucket boundaries are a fixed
+exponential ladder — no clocks, no RNG, no environment reads.
+
+The registry is the *accounting* layer of ``repro.obs``: the pool
+counts queries/crashes/stalls here, the agent counts retries and
+quarantines, the scheduler counts restarts and tier changes, and
+:class:`~repro.obs.run.RunTelemetry` flushes snapshots into the JSONL
+run log for ``repro metrics`` to render later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..effects import pure
+
+#: Fixed exponential bucket ladder (seconds) shared by all histograms:
+#: 1ms .. ~100s, factor 4 — coarse, but stable across runs and machines.
+DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096,
+                   16.384, 65.536)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (queries, retries, crashes)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    @pure
+    def to_record(self) -> dict:
+        """Plain-dict form for metrics snapshots."""
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (workers alive, best reward, tier)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value (overwrites the previous one)."""
+        self.value = float(value)
+
+    @pure
+    def to_record(self) -> dict:
+        """Plain-dict form for metrics snapshots."""
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A distribution over the fixed exponential bucket ladder."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(buckets)
+        #: ``bucket_counts[i]`` counts observations <= ``buckets[i]``;
+        #: the final slot is the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (e.g. a per-query latency)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    @pure
+    def mean(self) -> float:
+        """Mean of all observations (``0.0`` when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @pure
+    def to_record(self) -> dict:
+        """Plain-dict form for metrics snapshots."""
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "count": self.count,
+                "total": self.total, "buckets": list(self.buckets),
+                "bucket_counts": list(self.bucket_counts)}
+
+
+class MetricsRegistry:
+    """Hands out metric instruments keyed by ``(name, labels)``.
+
+    Asking for the same name+labels twice returns the same instrument;
+    asking for the same name with a *different kind* is an error (one
+    name, one kind — again the Prometheus rule).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, str]):
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {known}, "
+                f"not a {cls.kind}")
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter registered under ``name`` + ``labels``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge registered under ``name`` + ``labels``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram registered under ``name`` + ``labels``."""
+        return self._get(Histogram, name, labels)
+
+    @pure
+    def snapshot(self) -> List[dict]:
+        """Every instrument as a plain dict, in sorted (stable) order."""
+        return [self._metrics[key].to_record()
+                for key in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"

@@ -9,18 +9,24 @@ single observed reward:
   crashed workers.
 * :class:`QueryProfiler` — per-query wall-clock breakdown of the
   restore / merge / retrain / score phases inside
-  :meth:`~repro.recsys.system.RecommenderSystem.attack`.
+  :meth:`~repro.recsys.system.RecommenderSystem.attack`.  Workers ship
+  their per-query phase deltas back with each
+  :class:`QueryOutcome`, so the breakdown covers pooled queries too
+  (see :func:`find_profiler` / :class:`PhaseDelta`).
 
-See ``docs/performance.md`` for the measurement methodology and
+See ``docs/performance.md`` for the measurement methodology,
+``docs/observability.md`` for the tracing/metrics hooks, and
 ``benchmarks/bench_query_throughput.py`` for the throughput harness.
 """
 
 from .pool import QueryOutcome, QueryPool, WorkerCrashError
-from .profile import QueryProfiler
+from .profile import PhaseDelta, QueryProfiler, find_profiler
 
 __all__ = [
     "QueryPool",
     "QueryOutcome",
     "WorkerCrashError",
     "QueryProfiler",
+    "PhaseDelta",
+    "find_profiler",
 ]

@@ -61,6 +61,21 @@ re-issued.  ``chaos`` takes a
 :class:`~repro.runtime.faults.WorkerFaultPlan` whose seeded kill/stall
 directives ride along with dispatched queries — fleet-level fault
 injection for soak tests, exercising exactly the healing paths above.
+
+Observability
+-------------
+Every worker reply carries a *phase payload*: the per-phase profiler
+deltas (when a :class:`~repro.perf.profile.QueryProfiler` is attached
+to the replica's system) and the query's total wall-clock seconds,
+measured inside the worker.  The parent merges the deltas into its own
+profiler — so parent-side rollups finally cover pooled queries — and
+attaches them to the :class:`QueryOutcome` (``phases`` /
+``phase_calls`` / ``seconds`` / ``pooled``).  Hanging a
+:class:`~repro.obs.trace.Tracer` on :attr:`QueryPool.tracer` wraps each
+batch in a ``pool.batch`` span, and a
+:class:`~repro.obs.metrics.MetricsRegistry` on :attr:`QueryPool.metrics`
+counts queries, crashes, stalls and serial fallbacks; both are optional
+parent-side attachments, never shipped to workers.
 """
 
 from __future__ import annotations
@@ -69,9 +84,10 @@ import multiprocessing
 import os
 import signal
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -79,6 +95,7 @@ from ..runtime.errors import (CorruptRewardError, RetriesExhaustedError,
                               TransientEnvironmentError)
 from ..runtime.faults import WorkerFaultPlan
 from ..runtime.retry import RetryPolicy, call_with_retry
+from .profile import PhaseDelta, find_profiler
 
 #: How long one scheduler wait blocks before re-checking worker liveness.
 _WAIT_TIMEOUT = 5.0
@@ -97,23 +114,48 @@ class QueryOutcome:
     :class:`~repro.runtime.errors.RetriesExhaustedError`).  ``retries``
     counts transient failures absorbed on the way — including worker
     crashes healed by the pool.
+
+    The observability fields describe the *final* attempt: ``seconds``
+    is its wall-clock duration (measured inside the worker for pooled
+    queries), ``phases``/``phase_calls`` its per-phase profiler deltas
+    (``None`` when no profiler is attached or timing is off), and
+    ``pooled`` says whether a forked worker executed it.
     """
 
     reward: Optional[float]
     retries: int = 0
     error: Optional[Exception] = None
+    phases: Optional[Dict[str, float]] = None
+    phase_calls: Optional[Dict[str, int]] = None
+    seconds: Optional[float] = None
+    pooled: bool = False
+
+
+def _phase_payload(delta: PhaseDelta, began: float):
+    """One reply's phase payload: ``(phase_seconds, phase_calls, total)``.
+
+    ``began`` is the ``perf_counter`` reading taken just before the
+    attack; the total is read *first* so the delta bookkeeping (dict
+    copies) never inflates it.  The phase dicts are ``None`` when no
+    profiler is attached.
+    """
+    total = time.perf_counter() - began
+    seconds, calls = delta.delta()
+    return seconds, calls, total
 
 
 def _worker_main(system, conn) -> None:
     """Child-process loop: serve attack queries until the stop sentinel.
 
     Messages arrive as ``(index, trajectories, directive)`` and replies
-    go back as ``(index, reward, error)``.  On a query failure the
-    worker ships the error to the parent and exits — a worker never
-    serves queries from a possibly corrupted replica; the parent forks
-    a pristine replacement instead.  The exception is an error tagged
-    ``replica_safe`` (injected chaos that never touched the replica):
-    it is shipped as data and the worker keeps serving.
+    go back as ``(index, reward, error, payload)``, where ``payload``
+    carries the query's worker-side timings (see :func:`_phase_payload`)
+    so the parent can account pooled wall-clock per phase.  On a query
+    failure the worker ships the error to the parent and exits — a
+    worker never serves queries from a possibly corrupted replica; the
+    parent forks a pristine replacement instead.  The exception is an
+    error tagged ``replica_safe`` (injected chaos that never touched
+    the replica): it is shipped as data and the worker keeps serving.
 
     ``directive`` carries seeded worker-chaos orders from a
     :class:`~repro.runtime.faults.WorkerFaultPlan`: ``("kill",)`` makes
@@ -141,14 +183,16 @@ def _worker_main(system, conn) -> None:
                 os._exit(1)
             if directive[0] == "stall":
                 time.sleep(directive[1])
+        delta = PhaseDelta(find_profiler(system, trajectories))
+        began = time.perf_counter()
         try:
             reward = float(system.attack(trajectories))
         except Exception as error:
-            conn.send((index, None, error))
+            conn.send((index, None, error, _phase_payload(delta, began)))
             if getattr(error, "replica_safe", False):
                 continue
             raise SystemExit(1)
-        conn.send((index, reward, None))
+        conn.send((index, reward, None, _phase_payload(delta, began)))
     conn.close()
 
 
@@ -210,6 +254,18 @@ class QueryPool:
         self.serial_fallbacks = 0
         #: Pool gave up on parallel execution for good (spawn failure).
         self.broken = False
+        #: Worker-measured attack wall-clock absorbed from replies
+        #: (includes failed attempts; see ``_absorb``).
+        self.pooled_seconds = 0.0
+        #: Worker-executed attack attempts absorbed from replies.
+        self.pooled_queries = 0
+        #: Optional parent-side :class:`~repro.obs.trace.Tracer` — set
+        #: after construction, never shipped to workers.
+        self.tracer = None
+        #: Optional parent-side
+        #: :class:`~repro.obs.metrics.MetricsRegistry` for pool
+        #: counters; also never shipped to workers.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -292,9 +348,24 @@ class QueryPool:
         """One in-process query (convenience; bypasses the workers)."""
         return float(self.system.attack(trajectories))
 
+    def _observing(self) -> bool:
+        """Whether anyone is consuming per-query timing fields."""
+        return self.tracer is not None or self.metrics is not None
+
+    def _span(self, name: str, **attrs):
+        """A tracer span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
+
     def _serial_outcome(self, trajectories, retry: Optional[RetryPolicy],
                         rng, sleep, base_retries: int = 0) -> QueryOutcome:
-        """Execute one query in-process under the caller's retry policy."""
+        """Execute one query in-process under the caller's retry policy.
+
+        When observability is attached the outcome carries the query's
+        wall-clock seconds and per-phase profiler deltas, mirroring
+        what pooled replies ship back from workers.
+        """
         def attempt() -> float:
             reward = float(self.system.attack(trajectories))
             if retry is not None and not np.isfinite(reward):
@@ -304,17 +375,30 @@ class QueryPool:
                     f"environment returned non-finite RecNum {reward!r}")
             return reward
 
+        def timed(outcome: QueryOutcome, delta, began) -> QueryOutcome:
+            if delta is None:
+                return outcome
+            outcome.seconds = time.perf_counter() - began
+            outcome.phases, outcome.phase_calls = delta.delta()
+            return outcome
+
+        delta = began = None
+        if self._observing():
+            delta = PhaseDelta(find_profiler(self.system, trajectories))
+            began = time.perf_counter()
         if retry is None:
-            return QueryOutcome(reward=attempt(), retries=base_retries)
+            return timed(QueryOutcome(reward=attempt(),
+                                      retries=base_retries), delta, began)
         try:
             outcome = call_with_retry(attempt, retry, rng=rng, sleep=sleep)
         except RetriesExhaustedError as error:
-            return QueryOutcome(
+            return timed(QueryOutcome(
                 reward=None,
                 retries=base_retries + max(error.attempts - 1, 0),
-                error=error)
-        return QueryOutcome(reward=outcome.value,
-                            retries=base_retries + outcome.retries)
+                error=error), delta, began)
+        return timed(QueryOutcome(reward=outcome.value,
+                                  retries=base_retries + outcome.retries),
+                     delta, began)
 
     def attack_many(self, trajectory_sets: Sequence[Sequence[Sequence[int]]],
                     retry: Optional[RetryPolicy] = None,
@@ -334,11 +418,16 @@ class QueryPool:
             return []
         self._ensure_started()
         if not self.parallel or self.broken:
-            return [self._serial_outcome(trajectories, retry, rng, sleep)
-                    for trajectories in trajectory_sets]
-        return self._attack_many_parallel(trajectory_sets, retry, rng,
-                                          sleep if sleep is not None
-                                          else time.sleep)
+            with self._span("pool.batch", batch=len(trajectory_sets),
+                            tier="serial"):
+                return [self._serial_outcome(trajectories, retry, rng,
+                                             sleep)
+                        for trajectories in trajectory_sets]
+        with self._span("pool.batch", batch=len(trajectory_sets),
+                        tier="pooled", workers=self.workers):
+            return self._attack_many_parallel(trajectory_sets, retry, rng,
+                                              sleep if sleep is not None
+                                              else time.sleep)
 
     # ------------------------------------------------------------------
     def _attack_many_parallel(self, trajectory_sets, retry, rng,
@@ -395,7 +484,7 @@ class QueryPool:
             if crashes[index] > self.crash_retries:
                 # A query that keeps killing workers runs in-process so
                 # the real failure surfaces as it would serially.
-                self.serial_fallbacks += 1
+                self._note_fallback()
                 results[index] = self._serial_outcome(
                     tasks[index], retry, rng, sleep,
                     base_retries=failures[index] + crashes[index])
@@ -440,7 +529,7 @@ class QueryPool:
                     self.broken = True
                     while pending:
                         index = pending.pop(0)
-                        self.serial_fallbacks += 1
+                        self._note_fallback()
                         results[index] = self._serial_outcome(
                             tasks[index], retry, rng, sleep,
                             base_retries=failures[index] + crashes[index])
@@ -459,6 +548,8 @@ class QueryPool:
                     if slot in deadlines and now >= deadlines[slot]:
                         index = drop(slot)
                         self.crashes += 1
+                        if self.metrics is not None:
+                            self.metrics.counter("pool.stalls").inc()
                         self._recycle(slot, kill=True)
                         requeue_after_crash(index)
                 # Paranoia sweep: a worker that died without closing its
@@ -473,13 +564,14 @@ class QueryPool:
             for conn in ready:
                 slot = conn_to_slot[conn]
                 try:
-                    index, reward, error = conn.recv()
+                    index, reward, error, payload = conn.recv()
                 except (EOFError, OSError):
                     index = drop(slot)
                     self._handle_crash(slot)
                     requeue_after_crash(index)
                     continue
                 drop(slot)
+                self._absorb(payload, tasks[index])
                 if error is None:
                     # The replica executed a real query; mirror it into
                     # the parent's budget counter before validating.
@@ -490,9 +582,14 @@ class QueryPool:
                             f"{reward!r}"))
                         continue
                     pinned.pop(index, None)
-                    results[index] = QueryOutcome(
+                    outcome = QueryOutcome(
                         reward=reward,
-                        retries=failures[index] + crashes[index])
+                        retries=failures[index] + crashes[index],
+                        pooled=True)
+                    if payload is not None:
+                        outcome.phases, outcome.phase_calls, \
+                            outcome.seconds = payload
+                    results[index] = outcome
                     continue
                 if getattr(error, "replica_safe", False) and isinstance(
                         error, TransientEnvironmentError):
@@ -510,10 +607,44 @@ class QueryPool:
                     raise error
         return results
 
+    def _absorb(self, payload, task) -> None:
+        """Fold one worker reply's phase payload into parent accounting.
+
+        Merges the phase deltas into the parent-side profiler (the same
+        object the worker's fork-copy accumulated into — this is what
+        makes pooled-tier rollups possible) and updates the pool's
+        wall-clock counters and optional metrics.  Failed attempts ship
+        payloads too, keeping parity with the serial path where the
+        profiler accumulates even during attempts that raise.
+        """
+        if payload is None:
+            return
+        phases, calls, seconds = payload
+        self.pooled_queries += 1
+        self.pooled_seconds += seconds
+        if phases:
+            profiler = find_profiler(self.system, task)
+            if profiler is not None:
+                profiler.merge(phases, calls)
+        if self.metrics is not None:
+            self.metrics.counter("pool.queries", tier="pooled").inc()
+            self.metrics.histogram("pool.query_seconds").observe(seconds)
+            for name, phase_seconds in (phases or {}).items():
+                self.metrics.histogram("pool.phase_seconds",
+                                       phase=name).observe(phase_seconds)
+
     def _handle_crash(self, slot: int) -> None:
         """Reap + respawn one worker, recording the death."""
         self.crashes += 1
+        if self.metrics is not None:
+            self.metrics.counter("pool.crashes").inc()
         self._recycle(slot)
+
+    def _note_fallback(self) -> None:
+        """Count one query the pool had to execute in-process."""
+        self.serial_fallbacks += 1
+        if self.metrics is not None:
+            self.metrics.counter("pool.serial_fallbacks").inc()
 
     def _count_query(self) -> None:
         """Mirror a worker-side query into the parent's budget counter.

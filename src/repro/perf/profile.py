@@ -18,13 +18,23 @@ four phases:
 The profiler only accumulates floats, so leaving it attached costs two
 ``perf_counter`` reads per phase; the throughput benchmark uses it to
 emit the per-query breakdown in ``BENCH_query_throughput.json``.
+
+Profilers are fork-safe by construction (two plain dicts), so pooled
+workers inherit the attached profiler with their system replica.  The
+pool ships each query's phase *deltas* back to the parent — captured
+with :class:`PhaseDelta`, merged via :meth:`QueryProfiler.merge` — so
+parent-side rollups cover pooled queries too.  :func:`find_profiler`
+locates the attached profiler behind any stack of environment wrappers
+(and, via a ``resolve_profiler`` hook, behind a campaign router).
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..effects import pure
 
 
 class QueryProfiler:
@@ -56,6 +66,19 @@ class QueryProfiler:
             for name, total in sorted(self.totals.items())
         }
 
+    @pure
+    def snapshot(self) -> Tuple[Dict[str, float], Dict[str, int]]:
+        """Copies of ``(totals, counts)`` at this instant."""
+        return dict(self.totals), dict(self.counts)
+
+    def merge(self, seconds: Dict[str, float],
+              calls: Dict[str, int]) -> None:
+        """Fold externally measured phase deltas in (e.g. from a worker)."""
+        for name, total in seconds.items():
+            self.totals[name] = self.totals.get(name, 0.0) + total
+        for name, count in calls.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+
     def reset(self) -> None:
         """Discard all accumulated timings."""
         self.totals.clear()
@@ -65,3 +88,63 @@ class QueryProfiler:
         phases = ", ".join(f"{name}={total:.3f}s"
                            for name, total in sorted(self.totals.items()))
         return f"QueryProfiler({phases})"
+
+
+class PhaseDelta:
+    """Captures a profiler snapshot now, yields the deltas later.
+
+    Workers (and the serial path, for parity) wrap each query in one of
+    these: construct before ``attack``, call :meth:`delta` after, and
+    the result is exactly the phase seconds/calls that query consumed —
+    regardless of what the profiler had already accumulated.  A ``None``
+    profiler yields ``(None, None)`` deltas.
+    """
+
+    def __init__(self, profiler: Optional[QueryProfiler]) -> None:
+        self.profiler = profiler
+        if profiler is not None:
+            self._totals, self._counts = profiler.snapshot()
+        else:
+            self._totals, self._counts = {}, {}
+
+    def delta(self) -> Tuple[Optional[Dict[str, float]],
+                             Optional[Dict[str, int]]]:
+        """Per-phase ``(seconds, calls)`` accumulated since construction."""
+        if self.profiler is None:
+            return None, None
+        totals, counts = self.profiler.snapshot()
+        seconds = {}
+        calls = {}
+        for name, count in counts.items():
+            grew = count - self._counts.get(name, 0)
+            if grew > 0:
+                calls[name] = grew
+                seconds[name] = totals[name] - self._totals.get(name, 0.0)
+        return seconds, calls
+
+
+def find_profiler(target, task=None,
+                  max_hops: int = 8) -> Optional[QueryProfiler]:
+    """Locate the profiler attached behind a stack of wrappers.
+
+    Walks ``target`` inward through ``_system``/``_env`` links (the
+    same chain the pool's query counter walks) until an object with a
+    non-``None`` ``profiler`` attribute is found.  An object exposing a
+    ``resolve_profiler(task)`` hook (a campaign router) short-circuits
+    the walk when ``task`` is given: routed queries resolve to the
+    profiler of the campaign the task is tagged for.
+    """
+    for _ in range(max_hops):
+        if target is None:
+            return None
+        resolve = getattr(target, "resolve_profiler", None)
+        if resolve is not None and task is not None:
+            return resolve(task)
+        profiler = getattr(target, "profiler", None)
+        if profiler is not None:
+            return profiler
+        inner = getattr(target, "_system", None)
+        if inner is None:
+            inner = getattr(target, "_env", None)
+        target = inner
+    return None

@@ -20,12 +20,11 @@ last checkpoint bit-identically.
 
 from __future__ import annotations
 
-import json
-import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs.jsonl import JsonlSink, read_jsonl
 from ..runtime.checkpoint import PathLike
 from ..runtime.errors import CorruptCheckpointError
 
@@ -34,39 +33,39 @@ JOURNAL_VERSION = 1
 
 
 class SchedulerJournal:
-    """Append-only, fsync-per-line fleet event log."""
+    """Append-only, fsync-per-line fleet event log.
+
+    A thin discipline over :class:`~repro.obs.jsonl.JsonlSink` in its
+    journal-grade (fsync-per-record) mode, plus the fleet's format
+    header and the requirement that every record carries an ``event``
+    discriminator.
+    """
 
     def __init__(self, path: PathLike) -> None:
         self.path = pathlib.Path(path)
-        self._handle = None
+        self._sink: Optional[JsonlSink] = None
 
     def _ensure_open(self) -> None:
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._sink is None:
             fresh = not self.path.exists()
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._sink = JsonlSink(self.path, fsync=True)
             if fresh:
-                self._write({"event": "format", "format": JOURNAL_FORMAT,
-                             "version": JOURNAL_VERSION})
-
-    def _write(self, event: dict) -> None:
-        line = json.dumps(event, sort_keys=True, allow_nan=False)
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+                self._sink.append({"event": "format",
+                                   "format": JOURNAL_FORMAT,
+                                   "version": JOURNAL_VERSION})
 
     def append(self, event: dict) -> None:
         """Durably append one event (committed before this returns)."""
         if "event" not in event:
             raise ValueError("journal events need an 'event' key")
         self._ensure_open()
-        self._write(event)
+        self._sink.append(event)
 
     def close(self) -> None:
         """Release the file handle (appends may resume later)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
 
     def __enter__(self) -> "SchedulerJournal":
         return self
@@ -78,26 +77,8 @@ class SchedulerJournal:
 def read_events(path: PathLike) -> List[dict]:
     """Parse a journal, dropping at most one torn final line."""
     path = pathlib.Path(path)
-    with open(path, encoding="utf-8") as handle:
-        lines = handle.read().split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    events: List[dict] = []
-    for i, line in enumerate(lines):
-        try:
-            event = json.loads(line)
-        except json.JSONDecodeError as error:
-            if i == len(lines) - 1:
-                break  # torn tail: the orchestrator died mid-append
-            raise CorruptCheckpointError(
-                f"scheduler journal {path} line {i + 1} is garbled "
-                f"({error}); only the final line can legally be torn"
-            ) from error
-        if not isinstance(event, dict) or "event" not in event:
-            raise CorruptCheckpointError(
-                f"scheduler journal {path} line {i + 1} is not a fleet "
-                "event object")
-        events.append(event)
+    events = read_jsonl(path, what="scheduler journal",
+                        expect_key="event")
     if not events or events[0].get("event") != "format":
         raise CorruptCheckpointError(
             f"{path} is not a fleet journal (missing format header)")
@@ -121,6 +102,12 @@ class LedgerEntry:
     error: Optional[str] = None
     #: Submission order (journal position), for fair-share tie-breaks.
     order: int = 0
+    #: Best reward the campaign had journaled (``None`` = none yet, or
+    #: an old-format journal without slice counters).
+    best_reward: Optional[float] = None
+    #: Cumulative retry/quarantine counters at the last slice.
+    retries: int = 0
+    quarantined: int = 0
 
 
 @dataclass
@@ -168,6 +155,14 @@ def replay(path: PathLike) -> FleetLedger:
                     f"journal {path}: slice event for unsubmitted "
                     f"campaign {event['name']!r}")
             entry.steps_done = int(event["step"])
+            # Telemetry counters (absent in pre-obs journals; ``best``
+            # is None both then and while every observation was NaN).
+            best = event.get("best")
+            if best is not None:
+                entry.best_reward = float(best)
+            entry.retries = int(event.get("retries", entry.retries))
+            entry.quarantined = int(event.get("quarantined",
+                                              entry.quarantined))
         elif kind == "tier":
             ledger.tier = event["tier"]
             ledger.workers = event.get("workers")

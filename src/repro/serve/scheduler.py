@@ -35,8 +35,10 @@ sliced the run.
 
 from __future__ import annotations
 
+import math
 import pathlib
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -122,6 +124,11 @@ class CampaignScheduler:
         ``spec -> (env, config, default_steps)`` testbed factory.
     sleep:
         Injectable clock for retry backoff and restart delays.
+    obs:
+        Optional :class:`~repro.obs.run.RunTelemetry`: traces scheduler
+        slices and pool dispatch, counts fleet metrics, and logs it all
+        to the crash-safe obs run log.  Wired through to every
+        campaign's agent and the shared pool; purely observational.
     """
 
     def __init__(self, directory, workers: int = 1, slice_steps: int = 2,
@@ -131,7 +138,8 @@ class CampaignScheduler:
                  telemetry: Optional[FleetTelemetry] = None,
                  builder: Callable = default_builder,
                  sleep: Callable[[float], None] = time.sleep,
-                 min_workers: int = 2, crash_storm: int = 8) -> None:
+                 min_workers: int = 2, crash_storm: int = 8,
+                 obs=None) -> None:
         if slice_steps < 1:
             raise ValueError("slice_steps must be at least 1")
         self.directory = pathlib.Path(directory)
@@ -142,8 +150,9 @@ class CampaignScheduler:
         self.worker_chaos = worker_chaos
         self.builder = builder
         self.sleep = sleep
+        self.obs = obs
         self.telemetry = telemetry if telemetry is not None \
-            else FleetTelemetry()
+            else FleetTelemetry(obs=obs)
         self.supervisor = CampaignSupervisor(restart)
         self.drain = DrainController()
         self.degradation = DegradationController(
@@ -188,6 +197,13 @@ class CampaignScheduler:
             elif entry.status == "failed":
                 record.status = CampaignStatus.FAILED
                 record.last_error = entry.error
+            # Hydrate telemetry with the prior process's journaled
+            # counters so the summary table shows real history instead
+            # of ``best=-`` and zeroes for resumed campaigns.
+            self.telemetry.hydrate(
+                name, steps=entry.steps_done, best=entry.best_reward,
+                retries=entry.retries, quarantined=entry.quarantined,
+                restarts=entry.restarts)
 
     # ------------------------------------------------------------------
     # Fleet construction
@@ -225,7 +241,9 @@ class CampaignScheduler:
     def _rebuild_agent(self, record: CampaignRecord) -> None:
         """Fresh agent, restored from the last checkpoint if one exists."""
         record.agent = PoisonRec(record.env, record.config,
-                                 action_space=record.spec.action_space)
+                                 action_space=record.spec.action_space,
+                                 obs=self.obs)
+        record.agent.obs_attrs = {"campaign": record.spec.name}
         if record.checkpoint_path.exists():
             load_campaign(record.agent, record.checkpoint_path)
 
@@ -245,6 +263,11 @@ class CampaignScheduler:
                                workers=self.degradation.workers,
                                stall_timeout=self.stall_timeout,
                                chaos=self.worker_chaos)
+        if self.obs is not None:
+            # Parent-side attachments only: workers are forked from
+            # ``self.router`` and never see the tracer or its log file.
+            self._pool.tracer = self.obs.tracer
+            self._pool.metrics = self.obs.metrics
 
     def _retire_pool(self) -> None:
         if self._pool is not None:
@@ -334,6 +357,32 @@ class CampaignScheduler:
             jitter_seed=spec.seed,
             sleep=self.sleep)
 
+    def _journal_slice(self, record: CampaignRecord) -> None:
+        """Append one slice event with the campaign's telemetry counters.
+
+        Beyond the step watermark the event carries the cumulative
+        best/retries/quarantined counters (summed over the agent's full
+        restored history, so they span prior processes), from which
+        :meth:`resume` hydrates :class:`~repro.serve.telemetry
+        .FleetTelemetry` after a crash or drain.  ``best`` is
+        ``None``-encoded while still ``-inf`` (strict JSON).
+        """
+        agent = record.agent
+        best = agent.result.best_reward
+        history = agent.result.history
+        self.journal.append({
+            "event": "slice", "name": record.spec.name,
+            "step": agent.step,
+            "best": best if math.isfinite(best) else None,
+            "retries": sum(s.retries for s in history),
+            "quarantined": sum(s.quarantined for s in history)})
+
+    def _slice_span(self, record: CampaignRecord, steps: int):
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.span("slice", campaign=record.spec.name,
+                             steps=steps, tier=self.degradation.tier)
+
     def _run_slice(self, record: CampaignRecord) -> None:
         spec = record.spec
         record.status = CampaignStatus.RUNNING
@@ -351,14 +400,14 @@ class CampaignScheduler:
                 raise DrainRequested()
 
         try:
-            agent.train(steps, callback=callback,
-                        resilience=self._resilience(record, steps))
+            with self._slice_span(record, steps):
+                agent.train(steps, callback=callback,
+                            resilience=self._resilience(record, steps))
         except DrainRequested:
             # The step that just finished is complete and consistent;
             # persist it so the drain loses nothing.
             save_campaign(agent, record.checkpoint_path)
-            self.journal.append({"event": "slice", "name": spec.name,
-                                 "step": agent.step})
+            self._journal_slice(record)
             record.status = CampaignStatus.WAITING
             return
         except Exception as error:  # supervised: isolate, never spread
@@ -366,8 +415,7 @@ class CampaignScheduler:
                 raise  # a sick host is not a campaign-local fault
             self._handle_failure(record, error)
             return
-        self.journal.append({"event": "slice", "name": spec.name,
-                             "step": agent.step})
+        self._journal_slice(record)
         try:
             self.supervisor.charge_quarantines(record)
         except FailureBudgetExhausted as error:
@@ -428,6 +476,10 @@ class CampaignScheduler:
             return
         self.journal.append({"event": "tier", "tier": new_tier,
                              "workers": self.degradation.workers})
+        self.telemetry.metrics.counter("fleet.tier_changes",
+                                       tier=new_tier).inc()
+        self.telemetry.metrics.gauge("fleet.workers").set(
+            self.degradation.workers)
         self.telemetry.event(
             f"fleet degraded to {new_tier} tier "
             f"({self.degradation.workers} worker(s)): "

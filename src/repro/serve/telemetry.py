@@ -5,14 +5,21 @@ training step streams its :class:`~repro.core.agent.StepStats` here
 (tagged with the campaign name), fleet events (restarts, tier changes,
 drains) become narrator lines, and per-campaign
 :class:`~repro.perf.profile.QueryProfiler` phase timings are rolled up
-into one fleet-wide breakdown.
+into one fleet-wide breakdown.  Because pooled workers ship their
+per-query phase deltas back with every
+:class:`~repro.perf.pool.QueryOutcome` (merged into the parent-side
+profiler by the pool), the rollups cover *all* tiers — pooled, reduced
+and serial alike.
 
 Output is written to an injectable stream (``None`` silences it, which
 is what the tests use); the scheduler never formats anything itself.
-Profiler rollups cover work executed *in the parent process* — at the
-pooled tier the restore/retrain/score phases run inside forked workers,
-whose timings are not shipped back, so rollups are most informative at
-the serial tier or for serial-fallback queries.
+Attaching a :class:`~repro.obs.run.RunTelemetry` mirrors every counter
+into its labeled metrics registry and every fleet event into its
+crash-safe run log, so ``repro metrics`` can render the dashboard of a
+live or dead fleet.  A fleet resumed from a scheduler journal is
+*hydrated* (:meth:`FleetTelemetry.hydrate`) with the counters the prior
+process journaled, so the summary table never zeroes out history it
+did not stream itself.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, List, Optional, TextIO
 
 from ..effects import pure
 from ..experiments.tables import format_table
+from ..obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -40,10 +48,26 @@ class CampaignTelemetry:
 
 
 class FleetTelemetry:
-    """Streams fleet progress and aggregates per-campaign counters."""
+    """Streams fleet progress and aggregates per-campaign counters.
 
-    def __init__(self, stream: Optional[TextIO] = None) -> None:
+    Parameters
+    ----------
+    stream:
+        Text stream for narrator lines (``None`` silences them).
+    obs:
+        Optional :class:`~repro.obs.run.RunTelemetry`: counters are
+        mirrored into its metrics registry and fleet events into its
+        run log.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 obs=None) -> None:
         self.stream = stream
+        self.obs = obs
+        #: The labeled metrics registry backing the counters — shared
+        #: with ``obs`` when one is attached, private otherwise.
+        self.metrics: MetricsRegistry = (obs.metrics if obs is not None
+                                         else MetricsRegistry())
         self.campaigns: Dict[str, CampaignTelemetry] = {}
         self.events: List[str] = []
 
@@ -66,6 +90,16 @@ class FleetTelemetry:
         entry.last_max = stats.max_reward
         if stats.max_reward > entry.best_reward:
             entry.best_reward = stats.max_reward
+        self.metrics.counter("fleet.steps", campaign=name).inc()
+        if stats.retries:
+            self.metrics.counter("fleet.retries",
+                                 campaign=name).inc(stats.retries)
+        if stats.quarantined:
+            self.metrics.counter("fleet.quarantined",
+                                 campaign=name).inc(stats.quarantined)
+        if entry.best_reward > float("-inf"):
+            self.metrics.gauge("fleet.best_reward",
+                               campaign=name).set(entry.best_reward)
         self._emit(f"[{name}] step {stats.step:3d}: "
                    f"mean={stats.mean_reward:8.1f} "
                    f"max={stats.max_reward:6.0f} "
@@ -75,14 +109,44 @@ class FleetTelemetry:
     def event(self, message: str) -> None:
         """Record one fleet-level event (restart, tier change, drain)."""
         self.events.append(message)
+        if self.obs is not None:
+            self.obs.event(message)
         self._emit(f"== {message}")
 
     def note_restart(self, name: str) -> None:
         """Count one supervised restart of ``name``."""
         self._campaign(name).restarts += 1
+        self.metrics.counter("fleet.restarts", campaign=name).inc()
+
+    def hydrate(self, name: str, steps: int = 0,
+                best: Optional[float] = None, retries: int = 0,
+                quarantined: int = 0, restarts: int = 0) -> None:
+        """Seed a campaign's counters from a journal replay.
+
+        A resumed fleet streamed none of its prior process's steps
+        through this instance; hydration restores the journaled
+        cumulative counters so :meth:`render_table` shows real history
+        instead of ``best=-`` and zeroes.  Values only ever grow — live
+        observations layered on top keep the totals cumulative.
+        """
+        entry = self._campaign(name)
+        entry.steps = max(entry.steps, steps)
+        if best is not None and best > entry.best_reward:
+            entry.best_reward = best
+            self.metrics.gauge("fleet.best_reward",
+                               campaign=name).set(best)
+        entry.retries = max(entry.retries, retries)
+        entry.quarantined = max(entry.quarantined, quarantined)
+        entry.restarts = max(entry.restarts, restarts)
 
     def rollup_profiler(self, name: str, profiler) -> None:
-        """Fold one campaign's parent-side profiler phases in."""
+        """Fold one campaign's profiler phases into the fleet rollup.
+
+        The profiler covers every tier: worker-side phase deltas are
+        shipped back with each pooled
+        :class:`~repro.perf.pool.QueryOutcome` and merged by the pool,
+        serial and fallback queries accumulate directly.
+        """
         if profiler is None:
             return
         phases = self._campaign(name).phases
@@ -115,12 +179,15 @@ class FleetTelemetry:
                     and record.status.value == "completed"
                     and record.total_steps is not None):
                 steps = record.total_steps  # finished in a prior process
+            if entry is not None and entry.steps > steps:
+                steps = entry.steps  # hydrated from the journal
             rows.append([
                 name,
                 record.status.value if record is not None else "?",
                 steps,
                 f"{entry.best_reward:.0f}"
-                if entry is not None and entry.steps else "-",
+                if entry is not None and entry.best_reward > float("-inf")
+                else "-",
                 entry.retries if entry is not None else 0,
                 entry.quarantined if entry is not None else 0,
                 entry.restarts if entry is not None else 0,

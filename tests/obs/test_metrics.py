@@ -1,0 +1,72 @@
+"""MetricsRegistry: labeled instruments, kinds, stable snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    registry.counter("queries").inc()
+    registry.counter("queries").inc(2.5)
+    assert registry.counter("queries").value == 3.5
+    with pytest.raises(ValueError):
+        registry.counter("queries").inc(-1)
+
+
+def test_labels_key_distinct_series():
+    registry = MetricsRegistry()
+    registry.counter("steps", campaign="a").inc()
+    registry.counter("steps", campaign="b").inc(4)
+    assert registry.counter("steps", campaign="a").value == 1
+    assert registry.counter("steps", campaign="b").value == 4
+    assert len(registry) == 2
+
+
+def test_one_name_one_kind():
+    registry = MetricsRegistry()
+    registry.counter("latency")
+    with pytest.raises(ValueError):
+        registry.histogram("latency")
+
+
+def test_gauge_overwrites():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("workers")
+    assert gauge.value is None
+    gauge.set(4)
+    gauge.set(2)
+    assert gauge.value == 2.0
+
+
+def test_histogram_buckets_and_mean():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("seconds")
+    histogram.observe(0.0005)          # first bucket (<= 1ms)
+    histogram.observe(0.01)            # <= 16ms bucket
+    histogram.observe(1e6)             # +Inf overflow slot
+    assert histogram.count == 3
+    assert histogram.bucket_counts[0] == 1
+    assert histogram.bucket_counts[-1] == 1
+    assert histogram.mean == pytest.approx((0.0005 + 0.01 + 1e6) / 3)
+    assert len(histogram.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+
+
+def test_snapshot_is_sorted_and_json_safe():
+    registry = MetricsRegistry()
+    registry.counter("z.last", campaign="b").inc()
+    registry.counter("a.first").inc(2)
+    registry.gauge("workers").set(4)
+    registry.histogram("seconds").observe(0.1)
+    snapshot = registry.snapshot()
+    names = [record["name"] for record in snapshot]
+    assert names == sorted(names)
+    # Snapshots go straight into the JSONL log: must be plain JSON.
+    parsed = json.loads(json.dumps(snapshot, allow_nan=False))
+    kinds = {record["name"]: record["kind"] for record in parsed}
+    assert kinds == {"z.last": "counter", "a.first": "counter",
+                     "workers": "gauge", "seconds": "histogram"}

@@ -156,3 +156,44 @@ class TestCommands:
         capsys.readouterr()
         assert main(["submit", "--dir", fleet, "--name", "dup"]) == 2
         assert "already exists" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_trace_and_metrics_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--dir", "fleet", "--obs-log", "obs.jsonl"])
+        assert args.obs_log == "obs.jsonl"
+        args = build_parser().parse_args(
+            ["trace", "obs.jsonl", "--export", "chrome.json"])
+        assert args.log == "obs.jsonl" and args.export == "chrome.json"
+        args = build_parser().parse_args(
+            ["metrics", "obs.jsonl", "--events", "5"])
+        assert args.log == "obs.jsonl" and args.events == 5
+
+    def test_missing_log_is_an_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["trace", missing]) == 2
+        assert main(["metrics", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_attack_trace_metrics_round_trip(self, capsys, tmp_path):
+        log = str(tmp_path / "obs.jsonl")
+        export = str(tmp_path / "chrome.json")
+        assert main(["attack", "--dataset", "steam", "--ranker", "itempop",
+                     "--method", "poisonrec", "--steps", "2",
+                     "--obs-log", log]) == 0
+        assert f"obs run log: {log}" in capsys.readouterr().out
+
+        assert main(["trace", log, "--export", export]) == 0
+        out = capsys.readouterr().out
+        assert "train_step" in out and "ppo_update" in out
+        assert "chrome trace written" in out
+
+        import json
+        with open(export, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        assert any(event["ph"] == "X" for event in trace["traceEvents"])
+
+        assert main(["metrics", log]) == 0
+        assert "agent.queries" in capsys.readouterr().out
