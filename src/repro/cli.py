@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .attacks import BASELINE_CLASSES
 from .core import PoisonRec
@@ -38,6 +38,7 @@ from .runtime.errors import CorruptCheckpointError
 from .serve import (DEFAULT_ACTION_SPACES, DEFAULT_RANKERS, CampaignScheduler,
                     CampaignSpec, FleetTelemetry, SchedulerJournal,
                     grid_specs, replay)
+from .serve.supervision import HOST_ERRORS
 
 METHOD_CHOICES = tuple(BASELINE_CLASSES) + ("poisonrec",)
 ACTION_SPACE_CHOICES = ("plain", "bplain", "bcbt-popular", "bcbt-random")
@@ -182,13 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = subparsers.add_parser(
         "check", help="run the static analyzers (graphlint + shapecheck "
-                      "+ effectcheck)")
+                      "+ effectcheck + faultcheck)")
     check.add_argument("paths", nargs="*",
                        default=["src", "tests", "benchmarks"],
                        help="paths for graphlint "
                             "(default: src tests benchmarks)")
     check.add_argument("-v", "--verbose", action="store_true",
                        help="list every passing shapecheck check")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run the analyzers in N parallel processes "
+                            "(they are independent; findings still "
+                            "aggregate into one exit code)")
     return parser
 
 
@@ -444,16 +449,64 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyzer(spec: Tuple[str, str, List[str]]
+                  ) -> Tuple[str, int, str, str]:
+    """Run one analyzer CLI with captured output.
+
+    Module-level and picklable so ``check --jobs N`` can dispatch it to
+    worker processes.  Returns ``(name, exit_code, stdout, stderr)``;
+    analyzer crashes map to the shared internal-error code 2 with the
+    traceback on stderr, so one broken tool cannot mask the others.
+    """
+    import importlib
+    import io
+    import traceback
+    from contextlib import redirect_stderr, redirect_stdout
+
+    name, module_name, argv = spec
+    out, err = io.StringIO(), io.StringIO()
+    try:
+        module = importlib.import_module(module_name)
+        with redirect_stdout(out), redirect_stderr(err):
+            code = module.main(list(argv))
+    except SystemExit as exc:
+        code = exc.code if isinstance(exc.code, int) else 2
+    except Exception as error:
+        if isinstance(error, HOST_ERRORS):
+            raise  # a sick host is not an analyzer finding
+        err.write(traceback.format_exc())
+        code = 2
+    return name, code, out.getvalue(), err.getvalue()
+
+
 def cmd_check(args: argparse.Namespace) -> int:
-    """``check``: graphlint over ``paths``, then shapecheck + effectcheck."""
-    from .devtools import lint as graphlint
-    from .devtools.effectcheck import cli as effectcheck_cli
-    from .devtools.shapecheck import cli as shapecheck_cli
-    lint_code = graphlint.main(list(args.paths))
-    shape_args = ["-v"] if args.verbose else []
-    shape_code = shapecheck_cli.main(shape_args)
-    effect_code = effectcheck_cli.main([])
-    return max(lint_code, shape_code, effect_code)
+    """``check``: graphlint, shapecheck, effectcheck, then faultcheck.
+
+    With ``--jobs N`` the four analyzers run in parallel processes;
+    their reports are still printed in the fixed order above, and the
+    aggregate exit code is the worst individual one (0 clean /
+    1 findings / 2 internal error).
+    """
+    specs: List[Tuple[str, str, List[str]]] = [
+        ("graphlint", "repro.devtools.lint", list(args.paths)),
+        ("shapecheck", "repro.devtools.shapecheck.cli",
+         ["-v"] if args.verbose else []),
+        ("effectcheck", "repro.devtools.effectcheck.cli", []),
+        ("faultcheck", "repro.devtools.faultcheck.cli", []),
+    ]
+    if args.jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(args.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_analyzer, specs))
+    else:
+        results = [_run_analyzer(spec) for spec in specs]
+    codes = []
+    for name, code, out, err in results:
+        sys.stdout.write(out)
+        sys.stderr.write(err)
+        codes.append(code)
+    return max(codes)
 
 
 COMMANDS = {

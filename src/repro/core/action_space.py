@@ -287,7 +287,7 @@ class TreeActionSpace(ActionSpace):
             log_probs[idx, level] = lp
             position[idx] = np.where(choice == 0, left, right)
         if (position >= self.num_items).any():
-            raise RuntimeError("tree walk exceeded max depth")
+            raise ValueError("tree walk exceeded max depth")
         return StepSample(items=position,
                           decisions={"parents": parents, "sides": sides},
                           log_probs=log_probs, mask=mask)

@@ -25,20 +25,19 @@ inherited ``RecommenderSystem.recommend`` call chain.
 from __future__ import annotations
 
 import argparse
-import json
-import re
 import shutil
 import sys
 import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..common import (EXIT_CLEAN, EXIT_FINDINGS, EXIT_INTERNAL,
+                      SuppressionFilter, describe_rules, display_path,
+                      exit_code, json_report, render_chain_text)
+from ..common import rule_statistics as _common_statistics
 from .index import PackageIndex
 from .rules import Diagnostic, check_all
 from .summaries import FunctionSummary, build_summaries
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*effectcheck:\s*disable(?:=(?P<ids>[A-Za-z0-9_,\s]+))?")
 
 _RULES = (
     ("REP009", "sanctioned mutation channels",
@@ -61,68 +60,43 @@ def default_root() -> Path:
     return Path(__file__).resolve().parents[2]
 
 
-def _suppressed(diag: Diagnostic,
-                sources: Dict[str, List[str]]) -> bool:
-    lines = sources.get(diag.path, [])
-    if not 0 < diag.line <= len(lines):
-        return False
-    match = _SUPPRESS_RE.search(lines[diag.line - 1])
-    if match is None:
-        return False
-    ids = match.group("ids")
-    if not ids:
-        return True
-    return diag.rule in {part.strip().upper() for part in ids.split(",")}
-
-
 def analyze_package(root: Path, package: str = "repro"
                     ) -> Tuple[PackageIndex, Dict[str, FunctionSummary],
                                List[Diagnostic]]:
     """Index, summarize and rule-check one package tree."""
     index = PackageIndex(Path(root), package)
     summaries = build_summaries(index)
-    sources = {m.path: m.source_lines for m in index.modules.values()}
-    diagnostics = [d for d in check_all(index, summaries)
-                   if not _suppressed(d, sources)]
+    filters = {module.path: SuppressionFilter("effectcheck",
+                                              module.source_lines)
+               for module in index.modules.values()}
+    diagnostics = []
+    for diag in check_all(index, summaries):
+        suppressions = filters.get(diag.path)
+        if suppressions is not None \
+                and suppressions.covers(diag.rule, diag.line):
+            continue
+        diagnostics.append(diag)
     return index, summaries, diagnostics
 
 
-def _display_path(path: str) -> str:
-    try:
-        return str(Path(path).resolve().relative_to(Path.cwd()))
-    except ValueError:
-        return path
-
-
 def _render_text(diagnostics: Sequence[Diagnostic]) -> None:
-    for diag in diagnostics:
-        print(f"{_display_path(diag.path)}:{diag.line}: "
-              f"{diag.rule} {diag.message}")
-        for depth, frame in enumerate(diag.chain):
-            arrow = "via" if depth == 0 else " ->"
-            print(f"    {arrow} {frame}")
+    render_chain_text(diagnostics)
 
 
 def rule_statistics(diagnostics: Sequence[Diagnostic]) -> dict:
     """Diagnostic counts per rule id, covering every rule."""
-    counts = {rule_id: 0 for rule_id, _, _ in _RULES}
-    for diag in diagnostics:
-        counts[diag.rule] = counts.get(diag.rule, 0) + 1
-    return counts
+    return _common_statistics(diagnostics,
+                              [rule_id for rule_id, _, _ in _RULES])
 
 
 def _render_json(diagnostics: Sequence[Diagnostic],
                  index: PackageIndex) -> str:
-    payload = {
-        "diagnostics": [{"path": _display_path(d.path), "line": d.line,
-                         "rule": d.rule, "message": d.message,
-                         "chain": list(d.chain)}
-                        for d in diagnostics],
-        "modules_checked": len(index.modules),
-        "functions_summarized": len(index.functions),
-        "statistics": rule_statistics(diagnostics),
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    rows = [{"path": display_path(d.path), "line": d.line,
+             "rule": d.rule, "message": d.message, "chain": list(d.chain)}
+            for d in diagnostics]
+    return json_report(rows, rule_statistics(diagnostics),
+                       modules_checked=len(index.modules),
+                       functions_summarized=len(index.functions))
 
 
 # ----------------------------------------------------------------------
@@ -209,24 +183,22 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "source and require exact-line detection")
     args = parser.parse_args(argv)
     if args.rules:
-        for rule_id, title, rationale in _RULES:
-            print(f"{rule_id}  {title}")
-            print(f"        {rationale}")
-        return 0
+        describe_rules(_RULES)
+        return EXIT_CLEAN
     if args.self_test:
         return run_self_test()
     root = Path(args.root) if args.root else default_root()
     if not root.is_dir():
         print(f"effectcheck: no such directory: {root}", file=sys.stderr)
-        return 2
+        return EXIT_INTERNAL
     index, summaries, diagnostics = analyze_package(root, args.package)
     if index.errors:
         for error in index.errors:
             print(f"effectcheck: {error}", file=sys.stderr)
-        return 2
+        return EXIT_INTERNAL
     if args.format == "json":
         print(_render_json(diagnostics, index))
-        return 1 if diagnostics else 0
+        return exit_code(diagnostics)
     _render_text(diagnostics)
     if args.statistics:
         for rule_id, count in sorted(rule_statistics(diagnostics).items()):
@@ -236,11 +208,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"effectcheck: {len(diagnostics)} error(s) in {files} "
               f"file(s) ({len(index.modules)} modules, "
               f"{len(index.functions)} functions)", file=sys.stderr)
-        return 1
+        return EXIT_FINDINGS
     print(f"effectcheck: clean ({len(index.modules)} modules, "
           f"{len(index.functions)} functions summarized)",
           file=sys.stderr)
-    return 0
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

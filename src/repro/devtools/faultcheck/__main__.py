@@ -1,0 +1,8 @@
+"""Module runner for ``python -m repro.devtools.faultcheck``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

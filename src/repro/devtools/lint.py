@@ -41,12 +41,15 @@ from __future__ import annotations
 
 import argparse
 import ast
-import json
-import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .common import (EXIT_CLEAN, EXIT_FINDINGS, EXIT_INTERNAL,
+                     SuppressionFilter, describe_rules, exit_code,
+                     json_report)
+from .common import rule_statistics as _common_statistics
 
 #: Members of ``np.random`` that are part of the seeded-Generator API and
 #: therefore allowed; everything else is the legacy global-state API.
@@ -63,9 +66,6 @@ _REP003_WHITELIST = (
     "repro/nn/optim.py",
     "repro/nn/tensor.py",
 )
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*graphlint:\s*disable(?:=(?P<ids>[A-Za-z0-9_,\s]+))?")
 
 _EXCLUDED_DIR_PARTS = {"__pycache__", ".git", ".github", "results"}
 
@@ -563,64 +563,6 @@ RULES: Tuple[Rule, ...] = (
 )
 
 
-def _suppressed_rules(line: str) -> frozenset | None:
-    """Rule ids disabled on ``line``; empty set means "all rules"."""
-    match = _SUPPRESS_RE.search(line)
-    if match is None:
-        return None
-    ids = match.group("ids")
-    if not ids:
-        return frozenset()
-    return frozenset(part.strip().upper() for part in ids.split(",")
-                     if part.strip())
-
-
-def _stmt_spans(tree: ast.Module) -> List[Tuple[int, int]]:
-    """Physical line spans of every statement, headers only for blocks.
-
-    A compound statement's span stops before its first body statement so
-    a suppression inside a ``def`` cannot silence a diagnostic anchored
-    on the ``def`` line itself.
-    """
-    spans: List[Tuple[int, int]] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.stmt):
-            continue
-        start = node.lineno
-        body = getattr(node, "body", None)
-        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
-            end = max(start, body[0].lineno - 1)
-        else:
-            end = getattr(node, "end_lineno", None) or start
-        spans.append((start, end))
-    return spans
-
-
-def _is_suppressed(diag: Diagnostic, lines: Sequence[str],
-                   spans: Sequence[Tuple[int, int]]) -> bool:
-    """Whether a disable comment covers ``diag``.
-
-    The comment may sit on any physical line of the *innermost*
-    statement containing the diagnostic — multi-line calls and
-    parenthesized expressions commonly carry it on their closing line.
-    """
-    candidates = {diag.line}
-    best: Tuple[int, int] | None = None
-    for start, end in spans:
-        if start <= diag.line <= end:
-            if best is None or end - start < best[1] - best[0]:
-                best = (start, end)
-    if best is not None:
-        candidates.update(range(best[0], best[1] + 1))
-    for lineno in candidates:
-        if not 0 < lineno <= len(lines):
-            continue
-        disabled = _suppressed_rules(lines[lineno - 1])
-        if disabled is not None and (not disabled or diag.rule in disabled):
-            return True
-    return False
-
-
 def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
     """Lint one file's source text; returns sorted diagnostics."""
     try:
@@ -629,12 +571,12 @@ def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
         return [Diagnostic(path, err.lineno or 1, (err.offset or 0) + 1,
                            "REP000", f"syntax error: {err.msg}")]
     lines = source.splitlines()
-    spans = _stmt_spans(tree)
+    suppressions = SuppressionFilter("graphlint", lines, tree)
     diagnostics: List[Diagnostic] = []
     ctx = _FileContext(path, tree, lines)
     for rule in RULES:
         for diag in rule.check(ctx):
-            if _is_suppressed(diag, lines, spans):
+            if suppressions.covers(diag.rule, diag.line):
                 continue
             diagnostics.append(diag)
     return sorted(diagnostics)
@@ -676,29 +618,20 @@ def lint_paths(paths: Iterable[str]) -> Tuple[List[Diagnostic], int]:
 
 
 def _print_rules() -> None:
-    for rule in RULES:
-        print(f"{rule.id}  {rule.title}")
-        print(f"        {rule.rationale}")
+    describe_rules((rule.id, rule.title, rule.rationale) for rule in RULES)
 
 
 def rule_statistics(diagnostics: Sequence[Diagnostic]) -> dict:
     """Diagnostic counts per rule id, covering every registered rule."""
-    counts = {rule.id: 0 for rule in RULES}
-    for diag in diagnostics:
-        counts[diag.rule] = counts.get(diag.rule, 0) + 1
-    return counts
+    return _common_statistics(diagnostics, [rule.id for rule in RULES])
 
 
 def _render_json(diagnostics: Sequence[Diagnostic], checked: int) -> str:
     """The ``--format=json`` payload (diagnostics, stats, file count)."""
-    payload = {
-        "diagnostics": [{"path": d.path, "line": d.line, "col": d.col,
-                         "rule": d.rule, "message": d.message}
-                        for d in diagnostics],
-        "files_checked": checked,
-        "statistics": rule_statistics(diagnostics),
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    rows = [{"path": d.path, "line": d.line, "col": d.col,
+             "rule": d.rule, "message": d.message} for d in diagnostics]
+    return json_report(rows, rule_statistics(diagnostics),
+                       files_checked=checked)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -725,10 +658,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         diagnostics, checked = lint_paths(args.paths)
     except FileNotFoundError as error:
         print(f"graphlint: {error}", file=sys.stderr)
-        return 2
+        return EXIT_INTERNAL
     if args.format == "json":
         print(_render_json(diagnostics, checked))
-        return 1 if diagnostics else 0
+        return exit_code(diagnostics)
     for diag in diagnostics:
         print(diag.format())
     if args.statistics:
@@ -738,10 +671,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         files = len({d.path for d in diagnostics})
         print(f"graphlint: {len(diagnostics)} error(s) in {files} file(s) "
               f"({checked} checked)", file=sys.stderr)
-        return 1
+        return EXIT_FINDINGS
     print(f"graphlint: clean ({checked} files, {len(RULES)} rules)",
           file=sys.stderr)
-    return 0
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -2,7 +2,10 @@
 
 Runs every driver check (symbolic nn/recsys forward passes, all four
 policy variants, concrete ranker probes) and reports per-check status.
-Exit code 0 when every contract holds, 1 on any violation.
+Exit codes follow the shared analyzer convention
+(:mod:`repro.devtools.common`): 0 when every contract holds, 1 on any
+violation, 2 on an internal failure.  ``--format=json`` emits the same
+machine-readable payload shape as the other analyzer CLIs.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..common import EXIT_CLEAN, EXIT_FINDINGS, json_report
 from .drivers import CheckResult, run_all
 
 
@@ -27,9 +31,19 @@ def _render(results: List[CheckResult], verbose: bool) -> int:
     if failures:
         print(f"shapecheck: {len(failures)} of {len(results)} checks "
               f"failed", file=sys.stderr)
-        return 1
+        return EXIT_FINDINGS
     print(f"shapecheck: clean ({len(results)} checks)", file=sys.stderr)
-    return 0
+    return EXIT_CLEAN
+
+
+def _render_json(results: List[CheckResult]) -> int:
+    failures = [r for r in results if not r.ok]
+    rows = [{"name": r.name, "ok": r.ok, "detail": r.detail}
+            for r in results if not r.ok]
+    print(json_report(rows,
+                      {"checks": len(results), "failures": len(failures)},
+                      checks_run=len(results)))
+    return EXIT_FINDINGS if failures else EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -40,5 +54,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "symbolic shapes and verify @shape_spec contracts.")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print passing checks too")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (json suppresses the human "
+                             "report; exit codes are unchanged)")
     args = parser.parse_args(argv)
-    return _render(run_all(), args.verbose)
+    results = run_all()
+    if args.format == "json":
+        return _render_json(results)
+    return _render(results, args.verbose)

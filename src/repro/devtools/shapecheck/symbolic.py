@@ -159,7 +159,7 @@ def _site_text(frames) -> str:
     return f"{site[0]}:{site[1]}"
 
 
-class ShapeError(Exception):
+class ShapeError(ValueError):
     """An abstract-interpretation rule violation, with op-chain provenance.
 
     ``site`` is the anchored ``(file, line, function)`` of the offending

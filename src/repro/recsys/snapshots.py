@@ -32,14 +32,17 @@ from typing import Any
 import numpy as np
 
 from ..effects import pure
+from ..runtime.errors import FatalEnvironmentError
 
 
-class SnapshotMismatchError(RuntimeError):
+class SnapshotMismatchError(FatalEnvironmentError):
     """An incremental poison revert failed to reproduce the clean state.
 
     Raised only in ``verify_incremental`` mode (see
     :class:`repro.recsys.system.RecommenderSystem`); it means a ranker's
     ``poison_revert`` is not the exact inverse of its ``poison_update``.
+    Fatal in the campaign taxonomy: retrying the same query replays the
+    same broken revert, so the supervisor must not burn retry budget.
     """
 
 
