@@ -102,6 +102,14 @@ def test_query_throughput(benchmark):
         "speedup": pooled_qps / serial_qps,
         "per_query_phases": phases,
     }
+    if (os.cpu_count() or 1) < 2:
+        payload["limitation"] = (
+            "single-core runner: the pooled workers time-share one core, "
+            "so the recorded speedup reflects fork overhead, not the "
+            "pool; reproduce the parallel datapoint locally with "
+            "REPRO_BENCH_WORKERS=2 pytest benchmarks/"
+            "bench_query_throughput.py --benchmark-only on a multi-core "
+            "machine")
     emit_json("query_throughput", payload)
 
     rows = [["serial", count, f"{serial_s:.2f}", f"{serial_qps:.2f}"],

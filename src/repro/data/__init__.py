@@ -3,14 +3,17 @@
 from .interactions import Dataset, InteractionLog
 from .popularity import (item_popularity, popularity_rank, top_percent_items,
                          zipf_weights)
+from .sparse import SparseInteractions, as_sparse, sparse_view
 from .splits import leave_one_out_split
 from .synthetic import (DATASET_NAMES, PAPER_SPECS, SCALE_FACTORS, DatasetSpec,
-                        generate_log, load_dataset, scaled_spec)
+                        generate_log, generate_sparse_log, load_dataset,
+                        scaled_spec)
 
 __all__ = [
     "Dataset", "InteractionLog",
+    "SparseInteractions", "as_sparse", "sparse_view",
     "item_popularity", "popularity_rank", "top_percent_items", "zipf_weights",
     "leave_one_out_split",
     "DatasetSpec", "PAPER_SPECS", "SCALE_FACTORS", "DATASET_NAMES",
-    "generate_log", "load_dataset", "scaled_spec",
+    "generate_log", "generate_sparse_log", "load_dataset", "scaled_spec",
 ]

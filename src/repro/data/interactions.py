@@ -13,7 +13,8 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-from ..effects import mutates, sanctioned_channel
+from ..effects import mutates, pure, sanctioned_channel
+from .sparse import sparse_view
 
 
 class InteractionLog:
@@ -24,6 +25,10 @@ class InteractionLog:
     num_items:
         Size of the item universe.  Items are integer ids in
         ``[0, num_items)``; this includes any appended target items.
+
+    Bulk reads (``pairs``, ``item_counts``, ``to_implicit_matrix``) are
+    served from a cached CSR view (see :mod:`repro.data.sparse`); every
+    mutator bumps ``_version`` so the cache can never go stale.
     """
 
     def __init__(self, num_items: int) -> None:
@@ -31,19 +36,22 @@ class InteractionLog:
             raise ValueError("num_items must be positive")
         self.num_items = num_items
         self._sequences: Dict[int, List[int]] = {}
+        #: Monotone mutation counter; the sparse-view cache key.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    @mutates("_sequences")
+    @mutates("_sequences", "_version")
     def add(self, user: int, item: int) -> None:
         """Append a single click to ``user``'s sequence."""
         if not 0 <= item < self.num_items:
             raise ValueError(
                 f"item {item} outside universe [0, {self.num_items})")
         self._sequences.setdefault(user, []).append(item)
+        self._version += 1
 
-    @mutates("_sequences")
+    @mutates("_sequences", "_version")
     def add_sequence(self, user: int, items: Sequence[int]) -> None:
         """Append an entire click sequence for ``user``."""
         for item in items:
@@ -55,7 +63,7 @@ class InteractionLog:
         clone._sequences = {u: list(seq) for u, seq in self._sequences.items()}
         return clone
 
-    @mutates("_sequences")
+    @mutates("_sequences", "_version")
     @sanctioned_channel
     def splice(self, other: "InteractionLog") -> None:
         """Graft ``other``'s sequences into this log without copying.
@@ -77,13 +85,15 @@ class InteractionLog:
                 "appear in both logs")
         for user, sequence in other._sequences.items():
             self._sequences[user] = sequence
+        self._version += 1
 
-    @mutates("_sequences")
+    @mutates("_sequences", "_version")
     @sanctioned_channel
     def unsplice(self, other: "InteractionLog") -> None:
         """Detach sequences previously grafted by :meth:`splice`."""
         for user in other._sequences:
             self._sequences.pop(user, None)
+        self._version += 1
 
     def merged_with(self, other: "InteractionLog") -> "InteractionLog":
         """Return a new log combining both logs' sequences.
@@ -126,30 +136,28 @@ class InteractionLog:
         for user in self.users:
             yield user, self._sequences[user]
 
+    @pure
     def pairs(self) -> np.ndarray:
-        """All (user, item) pairs as an ``(n, 2)`` int array."""
-        rows = [(u, i) for u, seq in self._sequences.items() for i in seq]
-        if not rows:
-            return np.empty((0, 2), dtype=np.int64)
-        return np.asarray(rows, dtype=np.int64)
+        """All (user, item) pairs as an ``(n, 2)`` int array (user-sorted).
 
+        Served from the cached CSR view: one ``np.repeat`` + column
+        stack instead of a Python list-of-tuples build.
+        """
+        return sparse_view(self).pairs()
+
+    @pure
     def item_counts(self) -> np.ndarray:
         """Per-item click counts (the popularity signal attackers can crawl)."""
-        counts = np.zeros(self.num_items, dtype=np.int64)
-        for seq in self._sequences.values():
-            np.add.at(counts, np.asarray(seq, dtype=np.int64), 1)
-        return counts
+        return sparse_view(self).item_counts()
 
+    @pure
     def to_implicit_matrix(self, num_users: int | None = None) -> np.ndarray:
-        """Dense 0/1 user-item matrix (small scales only; used by AutoRec)."""
-        users = self.users
-        n_users = num_users if num_users is not None else (
-            (max(users) + 1) if users else 0)
-        matrix = np.zeros((n_users, self.num_items))
-        for user, seq in self._sequences.items():
-            if user < n_users:
-                matrix[user, seq] = 1.0
-        return matrix
+        """Dense 0/1 user-item matrix (small scales only; used by AutoRec).
+
+        Prefer ``sparse_view(log).to_implicit_csr(...)`` at scale — this
+        dense form exists for tests and tiny fixtures.
+        """
+        return sparse_view(self).to_implicit_dense(num_users)
 
     def __repr__(self) -> str:
         return (f"InteractionLog(users={self.num_users}, "

@@ -1,0 +1,305 @@
+"""Flat-array (CSR) view of interaction logs: the million-user substrate.
+
+:class:`~repro.data.interactions.InteractionLog` stores a dict of
+per-user Python lists — ideal for the splice/unsplice poison hot path,
+hopeless for vectorized training at 10⁵–10⁷ users.  This module adds the
+complementary representation: :class:`SparseInteractions`, an immutable
+CSR snapshot holding three contiguous arrays
+
+* ``users``    — sorted distinct user ids, shape ``(U,)``
+* ``user_ptr`` — CSR row pointer, shape ``(U + 1,)``
+* ``item_ids`` — clicks in click order, shape ``(nnz,)``
+
+so ``item_ids[user_ptr[i]:user_ptr[i + 1]]`` is user ``users[i]``'s
+sequence.  Every bulk read the rankers need — ``pairs()``,
+``item_counts()``, last-n windows, consecutive click pairs, implicit
+matrices — becomes a single vectorized pass over these arrays.
+
+Cache-invalidation contract
+---------------------------
+Views are obtained through :func:`sparse_view`, which memoizes one view
+per log in a module-level :class:`weakref.WeakKeyDictionary` keyed by the
+log's identity.  ``InteractionLog`` bumps a monotone ``_version`` counter
+in every mutator (``add``, ``splice``, ``unsplice``); a cached view is
+reused only while its captured version matches, so a view can never
+observe a stale log.  Two corollaries:
+
+* repeated reads between mutations are O(1) — the arrays are built once;
+* the zero-copy splice discipline ("neither log may be mutated while a
+  splice is active") extends to views: mutating a *donor* log while its
+  rows are spliced into another log bumps only the donor's counter, so
+  callers must detach (``unsplice``) first, exactly as the splice API
+  already requires.
+
+Views are snapshots: they stay valid (and frozen in time) after the
+source log mutates; only the cache entry is replaced.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+import numpy as np
+
+from ..effects import pure
+from ..nn.spec import shape_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .interactions import InteractionLog
+
+
+class SparseInteractions:
+    """Immutable CSR snapshot of an interaction log.
+
+    Construct via :func:`sparse_view` (cached), :meth:`from_log` (fresh)
+    or :meth:`from_arrays` (validated, for generators that produce the
+    array substrate directly).  The arrays must not be mutated; every
+    accessor returns freshly allocated outputs.
+    """
+
+    def __init__(self, num_items: int, users: np.ndarray,
+                 user_ptr: np.ndarray, item_ids: np.ndarray,
+                 version: int = 0) -> None:
+        self.num_items = int(num_items)
+        self.users = users
+        self.user_ptr = user_ptr
+        self.item_ids = item_ids
+        self.version = version
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_log(cls, log: "InteractionLog",
+                 version: int | None = None) -> "SparseInteractions":
+        """Build a CSR snapshot of ``log`` (users in ascending order)."""
+        sequences = log._sequences
+        count = len(sequences)
+        users = np.fromiter(sorted(sequences), dtype=np.int64, count=count)
+        lengths = np.fromiter((len(sequences[int(u)]) for u in users),
+                              dtype=np.int64, count=count)
+        user_ptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths, out=user_ptr[1:])
+        total = int(user_ptr[-1])
+        item_ids = np.fromiter(
+            (item for u in users for item in sequences[int(u)]),
+            dtype=np.int64, count=total)
+        if version is None:
+            version = log._version
+        return cls(log.num_items, users, user_ptr, item_ids, version)
+
+    @classmethod
+    def from_arrays(cls, num_items: int, users: np.ndarray,
+                    user_ptr: np.ndarray,
+                    item_ids: np.ndarray) -> "SparseInteractions":
+        """Validated constructor for directly generated array substrates."""
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        users = np.ascontiguousarray(users, dtype=np.int64)
+        user_ptr = np.ascontiguousarray(user_ptr, dtype=np.int64)
+        item_ids = np.ascontiguousarray(item_ids, dtype=np.int64)
+        if users.ndim != 1 or user_ptr.ndim != 1 or item_ids.ndim != 1:
+            raise ValueError("users, user_ptr and item_ids must be 1-D")
+        if len(user_ptr) != len(users) + 1:
+            raise ValueError(
+                f"user_ptr has {len(user_ptr)} entries; expected "
+                f"len(users) + 1 = {len(users) + 1}")
+        if len(user_ptr) and (user_ptr[0] != 0
+                              or user_ptr[-1] != len(item_ids)):
+            raise ValueError("user_ptr must start at 0 and end at "
+                             "len(item_ids)")
+        if np.any(np.diff(user_ptr) < 0):
+            raise ValueError("user_ptr must be non-decreasing")
+        if len(users) and (users[0] < 0 or np.any(np.diff(users) <= 0)):
+            raise ValueError("users must be non-negative and strictly "
+                             "increasing")
+        if item_ids.size and (int(item_ids.min()) < 0
+                              or int(item_ids.max()) >= num_items):
+            raise ValueError(
+                f"item ids outside universe [0, {num_items})")
+        return cls(num_items, users, user_ptr, item_ids)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        """Number of distinct users in the snapshot."""
+        return len(self.users)
+
+    @property
+    def num_interactions(self) -> int:
+        """Total click count across all users."""
+        return int(self.item_ids.size)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-user sequence lengths, aligned with :attr:`users`."""
+        return np.diff(self.user_ptr)
+
+    # ------------------------------------------------------------------
+    # Vectorized bulk reads
+    # ------------------------------------------------------------------
+    @pure
+    def click_users(self) -> np.ndarray:
+        """The owning user id of every click, aligned with ``item_ids``."""
+        return np.repeat(self.users, self.lengths)
+
+    @pure
+    def pairs(self) -> np.ndarray:
+        """All (user, item) pairs as an ``(nnz, 2)`` int64 array."""
+        return np.column_stack((self.click_users(), self.item_ids))
+
+    @pure
+    def item_counts(self) -> np.ndarray:
+        """Per-item click counts over the whole snapshot (int64)."""
+        return np.bincount(self.item_ids, minlength=self.num_items)
+
+    @pure
+    def consecutive_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Within-user consecutive click pairs as ``(prev, next)`` arrays."""
+        if self.item_ids.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        first = np.zeros(self.item_ids.size, dtype=bool)
+        starts = self.user_ptr[:-1]
+        first[starts[starts < self.item_ids.size]] = True
+        nxt = np.flatnonzero(~first)
+        return self.item_ids[nxt - 1], self.item_ids[nxt]
+
+    @pure
+    @shape_spec("_, _ -> ((U, W), (U, W))")
+    def last_n(self, n: int,
+               pad: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-user trailing windows: ``(windows, mask)``, both ``(U, n)``.
+
+        ``windows[i]`` holds the last ``n`` clicks of ``users[i]``
+        right-aligned (shorter sequences are left-padded with ``pad``);
+        ``mask`` marks real entries.
+        """
+        if n <= 0:
+            raise ValueError("window size must be positive")
+        starts = self.user_ptr[:-1, None]
+        idx = self.user_ptr[1:, None] + np.arange(-n, 0)
+        mask = idx >= starts
+        if self.item_ids.size:
+            safe = np.clip(idx, 0, self.item_ids.size - 1)
+            windows = np.where(mask, self.item_ids[safe], pad)
+        else:
+            windows = np.full((self.num_users, n), pad, dtype=np.int64)
+        return windows, mask
+
+    @pure
+    def sorted_pair_keys(self) -> np.ndarray:
+        """Sorted ``user * num_items + item`` keys for membership tests.
+
+        One ``np.searchsorted`` against this array answers "has user u
+        clicked item i?" for whole query batches at once.
+        """
+        return np.sort(self.click_users() * np.int64(self.num_items)
+                       + self.item_ids)
+
+    @pure
+    @shape_spec("_ -> (U, N)")
+    def to_implicit_dense(self, num_users: int | None = None) -> np.ndarray:
+        """Dense 0/1 user-item matrix (small scales only).
+
+        Row index is the raw user id; users at or beyond ``num_users``
+        are dropped, matching ``InteractionLog.to_implicit_matrix``.
+        """
+        n_users = num_users if num_users is not None else (
+            int(self.users[-1]) + 1 if len(self.users) else 0)
+        matrix = np.zeros((n_users, self.num_items))
+        click_users = self.click_users()
+        keep = click_users < n_users
+        matrix[click_users[keep], self.item_ids[keep]] = 1.0
+        return matrix
+
+    @pure
+    def to_implicit_csr(self, num_users: int | None = None):
+        """The CSR replacement for the dense implicit matrix.
+
+        Returns a ``scipy.sparse.csr_matrix`` of shape
+        ``(num_users, num_items)`` with 1.0 at every (user, item) click
+        position (duplicates collapsed), bit-equal to
+        ``to_implicit_dense(...)`` under ``.toarray()`` at any scale that
+        still fits densely.
+        """
+        from scipy import sparse as sp
+
+        n_users = num_users if num_users is not None else (
+            int(self.users[-1]) + 1 if len(self.users) else 0)
+        click_users = self.click_users()
+        keep = click_users < n_users
+        keys = np.unique(click_users[keep] * np.int64(self.num_items)
+                         + self.item_ids[keep])
+        rows = keys // self.num_items
+        cols = keys % self.num_items
+        indptr = np.zeros(n_users + 1, dtype=np.int64)
+        if n_users:
+            np.cumsum(np.bincount(rows, minlength=n_users), out=indptr[1:])
+        return sp.csr_matrix((np.ones(len(cols)), cols, indptr),
+                             shape=(n_users, self.num_items))
+
+    # ------------------------------------------------------------------
+    # Row-object interop (duck-typed like InteractionLog)
+    # ------------------------------------------------------------------
+    def _row_slice(self, user: int) -> slice:
+        """CSR slice of ``user``'s clicks (empty slice if unknown)."""
+        i = int(np.searchsorted(self.users, user))
+        if i >= len(self.users) or int(self.users[i]) != int(user):
+            return slice(0, 0)
+        return slice(int(self.user_ptr[i]), int(self.user_ptr[i + 1]))
+
+    @pure
+    def sequence(self, user: int) -> List[int]:
+        """The click sequence of ``user`` (empty list if unknown)."""
+        return self.item_ids[self._row_slice(user)].tolist()
+
+    def __contains__(self, user: int) -> bool:
+        i = int(np.searchsorted(self.users, user))
+        return i < len(self.users) and int(self.users[i]) == int(user)
+
+    def iter_sequences(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(user, sequence)`` pairs in ascending user order."""
+        for i, user in enumerate(self.users):
+            yield int(user), self.item_ids[
+                self.user_ptr[i]:self.user_ptr[i + 1]].tolist()
+
+    def __repr__(self) -> str:
+        return (f"SparseInteractions(users={self.num_users}, "
+                f"items={self.num_items}, "
+                f"interactions={self.num_interactions}, "
+                f"version={self.version})")
+
+
+#: One cached view per live log; entries die with the log.  Keyed by log
+#: identity, validated against the log's mutation counter on every read.
+_VIEW_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+@pure
+def sparse_view(log: "InteractionLog") -> SparseInteractions:
+    """The cached CSR view of ``log``, rebuilt iff the log has mutated.
+
+    Observationally pure: the memo lives outside the log, is keyed by
+    identity, and is validated against ``log._version`` (bumped by
+    ``add`` / ``splice`` / ``unsplice``), so the returned arrays always
+    reflect the log's current contents.
+    """
+    version = log._version
+    view = _VIEW_CACHE.get(log)
+    if view is None or view.version != version:
+        view = SparseInteractions.from_log(log, version=version)
+        _VIEW_CACHE[log] = view
+    return view
+
+
+@pure
+def as_sparse(log) -> SparseInteractions:
+    """Coerce an :class:`InteractionLog` (via the cache) or pass a
+    :class:`SparseInteractions` through unchanged."""
+    if isinstance(log, SparseInteractions):
+        return log
+    return sparse_view(log)

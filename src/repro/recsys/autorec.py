@@ -21,7 +21,11 @@ from ..data.interactions import InteractionLog
 from ..effects import mutates, pure, sanctioned_channel
 from ..nn import Adam, Dense, Module, Tensor, shape_spec
 from ..nn import functional as F
-from .base import Ranker
+from .base import Ranker, batch_slices, gemm_pad
+
+#: Users per chunk in the batched scorer: bounds the two (B, num_items)
+#: dense passes (input profiles + reconstruction) per chunk.
+_SCORE_CHUNK_USERS = 1024
 
 
 class _AutoRecNet(Module):
@@ -63,12 +67,22 @@ class AutoRec(Ranker):
         return {user: set(seq) for user, seq in log.iter_sequences()}
 
     def _rows(self, users: np.ndarray) -> np.ndarray:
-        """Densify the click profiles of ``users`` (batch-sized only)."""
+        """Densify the click profiles of ``users`` (batch-sized only).
+
+        One fancy-index assignment over the batch's flattened profiles
+        instead of a per-user loop (assignment order is irrelevant — all
+        written cells become 1.0).
+        """
         rows = np.zeros((len(users), self.num_items))
-        for i, user in enumerate(users):
-            items = self._user_items.get(int(user))
-            if items:
-                rows[i, list(items)] = 1.0
+        profiles = [self._user_items.get(int(user)) for user in users]
+        sizes = np.fromiter((len(p) if p else 0 for p in profiles),
+                            dtype=np.int64, count=len(profiles))
+        total = int(sizes.sum())
+        if total:
+            columns = np.fromiter(
+                (item for p in profiles if p for item in p),
+                dtype=np.int64, count=total)
+            rows[np.repeat(np.arange(len(users)), sizes), columns] = 1.0
         return rows
 
     def _train(self, user_ids: np.ndarray, epochs: int) -> None:
@@ -115,21 +129,53 @@ class AutoRec(Ranker):
 
     # ------------------------------------------------------------------
     def _reconstruct(self, users: np.ndarray) -> np.ndarray:
-        """Decoder output rows for ``users`` (score source)."""
-        return self.net(Tensor(self._rows(users))).numpy()
+        """Decoder output rows for ``users`` (score source).
+
+        Single-user batches are GEMM-padded so every block size produces
+        bit-identical rows (see :func:`~repro.recsys.base.gemm_pad`).
+        """
+        padded, n = gemm_pad(np.asarray(users))
+        return self.net(Tensor(self._rows(padded))).numpy()[:n]
 
     @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
-        recon = self._reconstruct(np.array([user]))[0]
-        return recon[np.asarray(item_ids, dtype=np.int64)]
+        # Routed through the batched candidate-only decoder so serial
+        # and batched scoring share every reduction order.
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        return self.score_batch(np.asarray([user]), item_ids[None, :])[0]
 
     @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
-        recon = self._reconstruct(np.asarray(users, dtype=np.int64))
-        return np.take_along_axis(recon, candidates, axis=1)
+        """Encode per user chunk, decode only the candidate columns.
+
+        The full decoder GEMM would reconstruct all ``num_items``
+        columns to use ``C`` of them; instead each chunk runs the
+        encoder once and decodes candidate columns with cache-resident
+        (B, hidden) einsum reductions — halving the flops and never
+        materializing a ``(B, num_items)`` reconstruction.  Encoder
+        rows are GEMM-padded (`gemm_pad`) and every reduction order is
+        fixed per element, so any block size produces bit-identical
+        scores.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        decoder_columns = self.net.decoder.weight.data.T
+        decoder_bias = self.net.decoder.bias.data
+        scores = np.empty(candidates.shape)
+        for block in batch_slices(len(users), _SCORE_CHUNK_USERS):
+            padded, n = gemm_pad(users[block])
+            hidden = self.net.encoder(Tensor(self._rows(padded))).numpy()[:n]
+            block_cands = candidates[block]
+            out = scores[block]
+            for col in range(block_cands.shape[1]):
+                ids = block_cands[:, col]
+                out[:, col] = (np.einsum("nh,nh->n", hidden,
+                                         decoder_columns[ids])
+                               + decoder_bias[ids])
+        return scores
 
     def _state(self) -> Any:
         return {"params": [p.data for p in self.net.parameters()],

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Any, ClassVar, Optional
+from typing import Any, ClassVar, Iterator, Optional
 
 import numpy as np
 
@@ -161,6 +161,35 @@ class Ranker(abc.ABC):
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(users={self.num_users}, "
                 f"items={self.num_items})")
+
+
+def batch_slices(total: int, chunk: int) -> Iterator[slice]:
+    """Row slices covering ``range(total)`` in ``chunk``-sized blocks.
+
+    The memory governor for batched scoring: every vectorized
+    ``score_batch`` processes its users through these slices so peak
+    intermediate size is bounded by the chunk, not the eval-user count.
+    Row-wise operations are chunk-invariant, so chunked and unchunked
+    passes produce bit-identical results.
+    """
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    for start in range(0, total, chunk):
+        yield slice(start, min(start + chunk, total))
+
+
+def gemm_pad(rows: np.ndarray) -> tuple[np.ndarray, int]:
+    """Duplicate a lone batch row so BLAS dispatches its GEMM kernel.
+
+    OpenBLAS routes single-row matmuls to GEMV, whose reduction order
+    differs from GEMM's by ~1 ulp; for two or more rows, GEMM's per-row
+    outputs are independent of the batch size.  The neural scorers pad
+    1-row blocks to 2 (and drop the duplicate) so ``score_batch`` is
+    bit-identical to stacked ``score`` calls at every block size.
+    """
+    if rows.shape[0] == 1:
+        return np.concatenate([rows, rows], axis=0), 1
+    return rows, rows.shape[0]
 
 
 def sample_negatives(rng: np.random.Generator, positives: np.ndarray,

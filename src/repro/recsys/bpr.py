@@ -90,16 +90,26 @@ class BPR(Ranker):
     @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        # Routed through the batched einsum (not a GEMV) so serial and
+        # batched scoring share one reduction order — bit-identical.
         item_ids = np.asarray(item_ids, dtype=np.int64)
-        return self.item_factors[item_ids] @ self.user_factors[user]
+        return self.score_batch(np.asarray([user]), item_ids[None, :])[0]
 
     @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         pu = self.user_factors[users]
-        qi = self.item_factors[candidates]
-        return np.einsum("nd,ncd->nc", pu, qi)
+        candidates = np.asarray(candidates)
+        scores = np.empty(candidates.shape)
+        # Column-at-a-time gather + reduce: one (B, d) factor slice per
+        # candidate column stays cache-resident, unlike the (B, C, d)
+        # blob a single einsum would gather.  Reduction order over d is
+        # fixed per element, so results are batch-size invariant.
+        for column in range(candidates.shape[1]):
+            scores[:, column] = np.einsum(
+                "nd,nd->n", pu, self.item_factors[candidates[:, column]])
+        return scores
 
     def item_embeddings(self) -> np.ndarray:
         return self.item_factors.copy()

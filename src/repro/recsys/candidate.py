@@ -27,6 +27,35 @@ import abc
 
 import numpy as np
 
+#: Cell budget per chunk for the vectorized samplers (keys matrices are
+#: ``rows x num_items`` floats; 2^22 cells ≈ 32 MB per chunk).
+_CHUNK_CELLS = 1 << 22
+
+
+def _sample_without_replacement(rng: np.random.Generator, pool_size: int,
+                                count: int, num_rows: int) -> np.ndarray:
+    """``num_rows`` independent uniform ``count``-subsets of ``range(pool_size)``.
+
+    Vectorized via random sort keys: the ``count`` smallest keys of an
+    i.i.d. uniform row form a uniform random subset (order within the
+    subset is arbitrary — callers shuffle downstream).  Chunked so the
+    key matrix stays ~tens of MB regardless of ``num_rows``.
+    """
+    count = min(count, pool_size)
+    out = np.empty((num_rows, count), dtype=np.int64)
+    if count == 0:
+        return out
+    chunk = max(1, _CHUNK_CELLS // max(pool_size, 1))
+    for start in range(0, num_rows, chunk):
+        rows = min(chunk, num_rows - start)
+        keys = rng.random((rows, pool_size))
+        if count >= pool_size:
+            out[start:start + rows] = np.arange(pool_size, dtype=np.int64)
+        else:
+            out[start:start + rows] = np.argpartition(
+                keys, count - 1, axis=1)[:, :count]
+    return out
+
 
 class CandidateGenerator(abc.ABC):
     """Builds per-user candidate sets of original items plus all targets."""
@@ -50,19 +79,38 @@ class CandidateGenerator(abc.ABC):
     def _original_candidates(self, row: int) -> np.ndarray:
         """The original-item part of one user's candidate set."""
 
+    def _original_candidates_batch(self, num_users: int) -> np.ndarray:
+        """All rows' originals at once, shape ``(num_users, k)``.
+
+        Default stacks the per-row hook; the built-in generators
+        override this with fully vectorized samplers.
+        """
+        return np.stack([np.asarray(self._original_candidates(row),
+                                    dtype=np.int64)
+                         for row in range(num_users)])
+
     def generate(self, num_users: int) -> np.ndarray:
         """Candidate matrix of shape ``(num_users, candidate_size)``.
 
         Each row mixes the generator's originals with the targets and is
         shuffled so candidate position carries no information (important
-        for deterministic tie-breaking in top-k selection).
+        for deterministic tie-breaking in top-k selection).  The whole
+        matrix is built vectorized: originals come from
+        :meth:`_original_candidates_batch` and the per-row shuffle is an
+        argsort over i.i.d. random keys (a uniform permutation per row),
+        chunked to bound peak memory.
         """
+        originals = self._original_candidates_batch(num_users)
         rows = np.empty((num_users, self.candidate_size), dtype=np.int64)
-        for row in range(num_users):
-            originals = self._original_candidates(row)
-            candidates = np.concatenate([originals, self.target_items])
-            self.rng.shuffle(candidates)
-            rows[row] = candidates
+        rows[:, :originals.shape[1]] = originals
+        rows[:, originals.shape[1]:] = self.target_items
+        chunk = max(1, _CHUNK_CELLS // max(self.candidate_size, 1))
+        for start in range(0, num_users, chunk):
+            block = rows[start:start + chunk]
+            keys = self.rng.random(block.shape)
+            order = np.argsort(keys, axis=1, kind="stable")
+            rows[start:start + chunk] = np.take_along_axis(block, order,
+                                                           axis=1)
         return rows
 
 
@@ -73,6 +121,12 @@ class RandomCandidateGenerator(CandidateGenerator):
         return self.rng.choice(self.num_original_items,
                                size=self.num_original_candidates,
                                replace=False)
+
+    def _original_candidates_batch(self, num_users: int) -> np.ndarray:
+        return _sample_without_replacement(self.rng,
+                                           self.num_original_items,
+                                           self.num_original_candidates,
+                                           num_users)
 
 
 class PopularityCandidateGenerator(CandidateGenerator):
@@ -106,6 +160,22 @@ class PopularityCandidateGenerator(CandidateGenerator):
                                replace=False)
         originals = np.concatenate([self.head, tail])
         return originals[:self.num_original_candidates]
+
+    def _original_candidates_batch(self, num_users: int) -> np.ndarray:
+        tail_size = self.num_original_candidates - len(self.head)
+        if tail_size <= 0 or len(self.tail_pool) == 0:
+            return np.broadcast_to(
+                self.head[:self.num_original_candidates],
+                (num_users, min(len(self.head),
+                                self.num_original_candidates))).copy()
+        tail_idx = _sample_without_replacement(self.rng,
+                                               len(self.tail_pool),
+                                               tail_size, num_users)
+        originals = np.empty(
+            (num_users, len(self.head) + tail_idx.shape[1]), dtype=np.int64)
+        originals[:, :len(self.head)] = self.head
+        originals[:, len(self.head):] = self.tail_pool[tail_idx]
+        return originals[:, :self.num_original_candidates]
 
 
 class ModelCandidateGenerator(CandidateGenerator):
@@ -148,3 +218,26 @@ class ModelCandidateGenerator(CandidateGenerator):
                                     replace=False)
             head = np.concatenate([head, extra])
         return head[:count]
+
+    def _original_candidates_batch(self, num_users: int) -> np.ndarray:
+        count = self.num_original_candidates
+        explore = int(round(count * self.exploration_fraction))
+        retrieve = count - explore
+        explore = min(explore, self.num_original_items - retrieve)
+        heads = np.argsort(-self._scores[:num_users], axis=1,
+                           kind="stable")[:, :retrieve].astype(np.int64)
+        if explore <= 0:
+            return heads[:, :count]
+        originals = np.empty((num_users, retrieve + explore), dtype=np.int64)
+        originals[:, :retrieve] = heads
+        chunk = max(1, _CHUNK_CELLS // max(self.num_original_items, 1))
+        for start in range(0, num_users, chunk):
+            rows = min(chunk, num_users - start)
+            # Uniform `explore`-subsets of the non-head pool: random keys
+            # with head positions masked out, then a partial sort.
+            keys = self.rng.random((rows, self.num_original_items))
+            np.put_along_axis(keys, heads[start:start + rows], np.inf,
+                              axis=1)
+            originals[start:start + rows, retrieve:] = np.argpartition(
+                keys, explore - 1, axis=1)[:, :explore]
+        return originals[:, :count]

@@ -17,7 +17,11 @@ import numpy as np
 from ..data.interactions import InteractionLog
 from ..effects import mutates, pure, sanctioned_channel
 from ..nn.spec import shape_spec
-from .base import Ranker
+from .base import Ranker, batch_slices
+
+#: Users per block in the batched scorer; bounds the (history x
+#: candidate) query matrix to a few tens of MB per block.
+_SCORE_BLOCK_USERS = 2048
 
 
 class CoVisitation(Ranker):
@@ -119,6 +123,105 @@ class CoVisitation(Ranker):
                 if pos is not None:
                     scores[pos] += weight / degree
         return scores
+
+    @pure
+    @shape_spec("(B,), (B, C) -> (B, C)")
+    def score_batch(self, users: np.ndarray,
+                    candidates: np.ndarray) -> np.ndarray:
+        """All users x candidates in one gather-reduce pass per block.
+
+        The per-user loop walks every history item's full neighbor dict;
+        this override instead scatters the block's adjacency rows into a
+        reusable dense weight table (a chunk of history items at a time)
+        and resolves every (history item, candidate) pair with one fancy
+        gather — no per-query search at all.  Accumulation runs over the
+        flat (history position, candidate) order of the serial loop and
+        ``np.add.at`` is unbuffered, so the result is bit-equal to
+        stacking :meth:`score` — including the duplicate-candidate
+        corner where only a row's last occurrence of an item scores.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        scores = np.zeros(candidates.shape, dtype=np.float64)
+        for block in batch_slices(len(candidates), _SCORE_BLOCK_USERS):
+            self._score_block(users[block], candidates[block], scores[block])
+        return scores
+
+    def _score_block(self, users: np.ndarray, candidates: np.ndarray,
+                     out: np.ndarray) -> None:
+        """Accumulate one user block's scores into ``out`` (a view)."""
+        windows = [self._histories.get(int(u), [])[-self.history_window:]
+                   for u in users]
+        lengths = np.fromiter((len(w) for w in windows), dtype=np.int64,
+                              count=len(windows))
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        history = np.fromiter((h for w in windows for h in w),
+                              dtype=np.int64, count=total)
+        rows = np.repeat(np.arange(len(users)), lengths)
+        num_candidates = candidates.shape[1]
+
+        # Per-occurrence contributions in flat (occurrence, candidate)
+        # order: realize a chunk of distinct history items as dense
+        # weight rows, gather each occurrence's candidate weights, then
+        # un-scatter so the table can be reused without re-zeroing.
+        uniq, uniq_index = np.unique(history, return_inverse=True)
+        occ_order = np.argsort(uniq_index, kind="stable")
+        sorted_uniq_index = uniq_index[occ_order]
+        chunk = max(1, (1 << 21) // max(self.num_items, 1))
+        table = np.zeros((min(chunk, len(uniq)), self.num_items),
+                         dtype=np.float64)
+        contrib = np.zeros((total, num_candidates), dtype=np.float64)
+        for base in range(0, len(uniq), chunk):
+            stop = min(base + chunk, len(uniq))
+            filled = []
+            for j in range(base, stop):
+                row = self.covisits.get(int(uniq[j]))
+                if not row:
+                    continue
+                neighbors = np.fromiter(row.keys(), dtype=np.int64,
+                                        count=len(row))
+                table[j - base, neighbors] = np.fromiter(
+                    row.values(), dtype=np.float64, count=len(row))
+                filled.append((j - base, neighbors))
+            lo, hi = np.searchsorted(sorted_uniq_index, (base, stop))
+            occ = occ_order[lo:hi]
+            if occ.size and filled:
+                contrib[occ] = table[(uniq_index[occ] - base)[:, None],
+                                     candidates[rows[occ]]]
+            for local, neighbors in filled:
+                table[local, neighbors] = 0.0
+
+        flat = contrib.ravel()
+        idx = np.flatnonzero(flat)
+        if idx.size == 0:
+            return
+        # Everything below runs on the (sparse) hits only — co-visit
+        # weights are positive counts, so nonzero gathers are exactly
+        # the (history item, candidate) adjacency hits.
+        hit_rows = rows[idx // num_candidates]
+        hit_cols = idx % num_candidates
+        # Serial score() indexes candidates through a dict, so when a row
+        # repeats an item only its last occurrence accumulates.  Mark the
+        # per-row last occurrence of every candidate value (stable sort
+        # keeps columns ascending within each (row, value) group).
+        position_keys = (np.arange(len(users))[:, None]
+                         * np.int64(self.num_items) + candidates).ravel()
+        order = np.argsort(position_keys, kind="stable")
+        group_end = np.ones(order.size, dtype=bool)
+        sorted_keys = position_keys[order]
+        group_end[:-1] = sorted_keys[1:] != sorted_keys[:-1]
+        last_mask = np.zeros(order.size, dtype=bool)
+        last_mask[order[group_end]] = True
+        last_mask = last_mask.reshape(len(users), num_candidates)
+        keep = last_mask[hit_rows, hit_cols]
+        idx = idx[keep]
+        if idx.size == 0:
+            return
+        degrees = np.maximum(self.out_degree[history[idx // num_candidates]],
+                             1.0)
+        contributions = flat[idx] / degrees
+        np.add.at(out, (hit_rows[keep], hit_cols[keep]), contributions)
 
     def _state(self) -> tuple:
         return (self.covisits, self.out_degree, self._histories)

@@ -13,7 +13,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..data.interactions import Dataset
+from ..data.interactions import Dataset, InteractionLog
+from ..data.sparse import as_sparse
 from .base import Ranker
 
 
@@ -31,6 +32,45 @@ class RankingQuality:
                 f"NDCG@{self.k}={self.ndcg:.3f} over {self.num_users} users")
 
 
+def sample_eval_negatives(rng: np.random.Generator, train: InteractionLog,
+                          users: np.ndarray, positives: np.ndarray,
+                          num_items: int, num_negatives: int,
+                          max_rounds: int = 256) -> np.ndarray:
+    """Batched rejection sampling of per-user unclicked negatives.
+
+    One large uniform draw of shape ``(len(users), num_negatives)``;
+    positions that collide with a clicked item (or the user's positive)
+    are redrawn until none remain.  Membership is resolved for the whole
+    batch at once by binary search over the train log's sorted
+    ``user * num_items + item`` keys (see
+    :meth:`~repro.data.sparse.SparseInteractions.sorted_pair_keys`).
+    Each position is redrawn independently, so the sampler draws from
+    exactly the same distribution as the scalar one-``rng.integers``-
+    per-candidate loop it replaces — duplicates *within* a user's
+    negatives remain possible, matching the original protocol.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    positives = np.asarray(positives, dtype=np.int64)
+    clicked_keys = np.sort(np.concatenate(
+        [as_sparse(train).sorted_pair_keys(),
+         users * np.int64(num_items) + positives]))
+    negatives = rng.integers(0, num_items,
+                             size=(len(users), num_negatives))
+    row_base = users[:, None] * np.int64(num_items)
+    for _ in range(max_rounds):
+        queries = (row_base + negatives).ravel()
+        found = np.minimum(np.searchsorted(clicked_keys, queries),
+                           clicked_keys.size - 1)
+        colliding = (clicked_keys[found] == queries).reshape(negatives.shape)
+        if not colliding.any():
+            return negatives
+        negatives[colliding] = rng.integers(0, num_items,
+                                            size=int(colliding.sum()))
+    raise ValueError(
+        "negative sampling did not converge: some users have clicked "
+        "nearly the whole item universe")
+
+
 def evaluate_ranking(ranker: Ranker, dataset: Dataset,
                      held_out: Optional[Dict[int, int]] = None,
                      k: int = 10, num_negatives: int = 50,
@@ -39,30 +79,28 @@ def evaluate_ranking(ranker: Ranker, dataset: Dataset,
 
     For every user with a held-out item (``dataset.test`` by default), the
     ranker scores the held-out item among ``num_negatives`` sampled
-    unclicked items; a hit means it lands in the top ``k``.
+    unclicked items; a hit means it lands in the top ``k``.  Negatives
+    come from one batched rejection draw and all users are scored through
+    the ranker's vectorized ``score_batch`` in a single call.
     """
     held_out = held_out if held_out is not None else dataset.test
     rng = np.random.default_rng(seed)
-    hits = []
-    gains = []
-    for user, positive in held_out.items():
-        clicked = set(dataset.train.sequence(user))
-        clicked.add(positive)
-        negatives = []
-        while len(negatives) < num_negatives:
-            item = int(rng.integers(dataset.num_items))
-            if item not in clicked:
-                negatives.append(item)
-        candidates = np.asarray([positive] + negatives, dtype=np.int64)
-        scores = ranker.score(user, candidates)
-        rank = int((scores > scores[0]).sum())  # items strictly above
-        hits.append(1.0 if rank < k else 0.0)
-        gains.append(1.0 / np.log2(rank + 2) if rank < k else 0.0)
-    if not hits:
+    if not held_out:
         return RankingQuality(hit_rate=0.0, ndcg=0.0, num_users=0, k=k)
-    return RankingQuality(hit_rate=float(np.mean(hits)),
-                          ndcg=float(np.mean(gains)),
-                          num_users=len(hits), k=k)
+    users = np.fromiter(held_out.keys(), dtype=np.int64,
+                        count=len(held_out))
+    positives = np.fromiter((held_out[int(u)] for u in users),
+                            dtype=np.int64, count=len(users))
+    negatives = sample_eval_negatives(rng, dataset.train, users, positives,
+                                      dataset.num_items, num_negatives)
+    candidates = np.concatenate([positives[:, None], negatives], axis=1)
+    scores = ranker.score_batch(users, candidates)
+    ranks = (scores > scores[:, :1]).sum(axis=1)  # items strictly above
+    hit = ranks < k
+    gains = np.where(hit, 1.0 / np.log2(ranks + 2.0), 0.0)
+    return RankingQuality(hit_rate=float(hit.mean()),
+                          ndcg=float(gains.mean()),
+                          num_users=len(users), k=k)
 
 
 def random_baseline_quality(dataset: Dataset, k: int = 10,

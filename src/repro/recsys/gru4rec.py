@@ -14,10 +14,15 @@ from typing import Any, List
 import numpy as np
 
 from ..data.interactions import InteractionLog
+from ..data.sparse import as_sparse
 from ..effects import mutates, pure, sanctioned_channel
 from ..nn import Adam, Embedding, GRUCell, Module, Tensor, shape_spec
 from ..nn import functional as F
-from .base import Ranker
+from .base import Ranker, batch_slices, gemm_pad
+
+#: Users per chunk in the batched scorer: bounds the (B, C, dim)
+#: candidate-embedding gather to ~50 MB at the paper's candidate sizes.
+_SCORE_CHUNK_USERS = 4096
 
 
 class _GRU4RecNet(Module):
@@ -79,16 +84,32 @@ class GRU4Rec(Ranker):
 
     def _training_examples(self, log: InteractionLog) -> tuple:
         """(windows, targets): every prefix of each sequence predicts the
-        next click, using a fixed-width left-padded window."""
-        windows, targets = [], []
-        for _, sequence in log.iter_sequences():
-            for t in range(1, len(sequence)):
-                windows.append(self._window_for(sequence[:t]))
-                targets.append(sequence[t])
-        if not windows:
+        next click, using a fixed-width left-padded window.
+
+        Built in one vectorized pass over the log's CSR view — for each
+        non-first click, the window gathers the ``window`` preceding
+        positions and left-pads entries that fall before the user's row
+        start.  Example order matches the old per-sequence loop
+        (ascending user, then click position), so training is
+        bit-identical to the row-object implementation.
+        """
+        view = as_sparse(log)
+        item_ids = view.item_ids
+        if item_ids.size == 0:
             return (np.empty((0, self.window), np.int64),
                     np.empty(0, np.int64))
-        return np.stack(windows), np.asarray(targets, dtype=np.int64)
+        starts = np.repeat(view.user_ptr[:-1], view.lengths)
+        position = np.arange(item_ids.size)
+        predictable = position > starts
+        target_pos = position[predictable]
+        if target_pos.size == 0:
+            return (np.empty((0, self.window), np.int64),
+                    np.empty(0, np.int64))
+        gather = target_pos[:, None] + np.arange(-self.window, 0)
+        in_row = gather >= starts[predictable][:, None]
+        safe = np.clip(gather, 0, item_ids.size - 1)
+        windows = np.where(in_row, item_ids[safe], self.net.pad_id)
+        return windows.astype(np.int64, copy=False), item_ids[target_pos]
 
     def _train(self, windows: np.ndarray, targets: np.ndarray,
                epochs: int) -> None:
@@ -156,12 +177,24 @@ class GRU4Rec(Ranker):
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
-        windows = np.stack([
-            self._window_for(self._histories.get(int(u), []))
-            for u in users])
-        hidden = self.net.encode(windows).numpy()
-        cand_emb = self.net.embedding.weight.numpy()[candidates]
-        return np.einsum("nd,ncd->nc", hidden, cand_emb)
+        """Encode all user windows and einsum against candidate rows.
+
+        Chunked over users so the ``(B, C, dim)`` candidate-embedding
+        gather stays memory-bounded at 10⁵+ eval users; chunking is
+        row-wise and therefore bit-invariant.
+        """
+        candidates = np.asarray(candidates)
+        table = self.net.embedding.weight.numpy()
+        scores = np.empty(candidates.shape)
+        for block in batch_slices(len(candidates), _SCORE_CHUNK_USERS):
+            windows = np.stack([
+                self._window_for(self._histories.get(int(u), []))
+                for u in users[block]])
+            padded, n = gemm_pad(windows)
+            hidden = self.net.encode(padded).numpy()[:n]
+            scores[block] = np.einsum("nd,ncd->nc", hidden,
+                                      table[candidates[block]])
+        return scores
 
     def item_embeddings(self) -> np.ndarray:
         return self.net.embedding.weight.numpy()[:self.num_items].copy()

@@ -17,7 +17,10 @@ from ..effects import mutates, pure, sanctioned_channel
 from ..nn import (Adam, Dense, Embedding, MLP, Module, Tensor,
                   concatenate, shape_spec)
 from ..nn import functional as F
-from .base import Ranker, sample_negatives
+from .base import Ranker, batch_slices, gemm_pad, sample_negatives
+
+#: Flattened (user, item) rows per forward pass in the batched scorer.
+_SCORE_CHUNK_PAIRS = 262144
 
 
 class _NeuMFNet(Module):
@@ -127,18 +130,65 @@ class NeuMF(Ranker):
     @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        # Routed through the factored batched forward so serial and
+        # batched scoring share every reduction order — bit-identical.
         item_ids = np.asarray(item_ids, dtype=np.int64)
-        users = np.full(len(item_ids), user, dtype=np.int64)
-        return self.net.logits(users, item_ids).numpy()
+        return self.score_batch(np.asarray([user]), item_ids[None, :])[0]
 
     @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
+        """Factored forward over all (user, candidate) pairs.
+
+        The naive flattened pass pays four per-pair embedding gathers,
+        two concats and the full first MLP layer per pair — all
+        memory-bound.  This override exploits the network's structure
+        instead: the first MLP layer splits into a per-user half (one
+        GEMM over the eval users, reused across all candidates) and a
+        per-item half, and the GMF branch folds its slice of the output
+        weights into the user embeddings, leaving per candidate column
+        only (B, dim)-sized gathers, GEMMs and dot products that stay
+        cache-resident.  Each element's reduction orders are fixed and
+        GEMM rows are batch-invariant (``gemm_pad``), so the result is
+        identical for any batch composition or chunk size.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        net = self.net
+        layer1, layer2 = net.mlp.layers
+        w1 = layer1.weight.data
+        dim = self.dim
+        out_w = net.out.weight.data
+        out_b = float(net.out.bias.data[0])
+        w2 = layer2.weight.data
+        b2 = layer2.bias.data
+        mlp_w = out_w[dim:, 0]
+
         n, c = candidates.shape
-        flat_users = np.repeat(np.asarray(users, dtype=np.int64), c)
-        flat_items = candidates.reshape(-1)
-        return self.net.logits(flat_users, flat_items).numpy().reshape(n, c)
+        scores = np.empty((n, c))
+        chunk = max(1, _SCORE_CHUNK_PAIRS // max(c, 1))
+        for block in batch_slices(n, chunk):
+            block_users = users[block]
+            block_cands = candidates[block]
+            padded, rows = gemm_pad(net.user_mlp.weight.data[block_users])
+            user_part = (padded @ w1[:dim])[:rows] + layer1.bias.data
+            # GMF branch with the output head's GMF slice folded into
+            # the user embeddings, once per block.
+            user_gmf = net.user_gmf.weight.data[block_users] * out_w[:dim, 0]
+            out = scores[block]
+            for col in range(c):
+                ids = block_cands[:, col]
+                padded, rows = gemm_pad(net.item_mlp.weight.data[ids])
+                hidden = np.maximum(
+                    user_part + (padded @ w1[dim:])[:rows], 0.0)
+                padded, rows = gemm_pad(hidden)
+                mlp_out = (padded @ w2)[:rows] + b2
+                out[:, col] = (np.einsum("nd,nd->n", user_gmf,
+                                         net.item_gmf.weight.data[ids])
+                               + np.einsum("nk,k->n", mlp_out, mlp_w)
+                               + out_b)
+        return scores
 
     def item_embeddings(self) -> np.ndarray:
         return self.net.item_gmf.weight.numpy().copy()

@@ -161,16 +161,28 @@ class NGCF(Ranker):
     @pure
     @shape_spec("_, (C,) -> (C,)")
     def score(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        # Routed through the batched einsum (not a GEMV) so serial and
+        # batched scoring share one reduction order — bit-identical.
         item_ids = np.asarray(item_ids, dtype=np.int64)
-        return self._final[item_ids + self.num_users] @ self._final[user]
+        return self.score_batch(np.asarray([user]), item_ids[None, :])[0]
 
     @pure
     @shape_spec("(B,), (B, C) -> (B, C)")
     def score_batch(self, users: np.ndarray,
                     candidates: np.ndarray) -> np.ndarray:
         user_repr = self._final[users]
-        item_repr = self._final[candidates + self.num_users]
-        return np.einsum("nd,ncd->nc", user_repr, item_repr)
+        item_rows = np.asarray(candidates) + self.num_users
+        scores = np.empty(candidates.shape)
+        # Column-at-a-time gather + reduce: NGCF's concatenated
+        # representation is wide (dim x (layers+1)), so the naive
+        # (B, C, D) candidate gather blows past cache and loses to the
+        # serial loop; one (B, D) slice per candidate column stays
+        # cache-resident.  Each output element reduces over D in the
+        # same order, so results are block- and batch-size invariant.
+        for column in range(item_rows.shape[1]):
+            scores[:, column] = np.einsum(
+                "nd,nd->n", user_repr, self._final[item_rows[:, column]])
+        return scores
 
     def item_embeddings(self) -> np.ndarray:
         return self._final[self.num_users:].copy()

@@ -22,9 +22,13 @@ import numpy as np
 
 from ..data.interactions import Dataset, InteractionLog
 from ..effects import pure
-from .base import Ranker
+from .base import Ranker, batch_slices
 from .candidate import (CandidateGenerator, PopularityCandidateGenerator,
                         RandomCandidateGenerator)
+
+#: Eval users per chunk when scoring recommendations; bounds the per-chunk
+#: score matrix while keeping each ranker's batched kernel saturated.
+_RECOMMEND_CHUNK_USERS = 8192
 from .registry import make_ranker
 from .snapshots import SnapshotMismatchError, states_equal
 
@@ -153,10 +157,23 @@ class RecommenderSystem:
     # ------------------------------------------------------------------
     @pure
     def recommend(self) -> np.ndarray:
-        """Top-k candidate item ids per evaluation user."""
-        scores = self.ranker.score_batch(self.eval_users, self.candidates)
-        top = np.argpartition(-scores, self.top_k - 1, axis=1)[:, :self.top_k]
-        return np.take_along_axis(self.candidates, top, axis=1)
+        """Top-k candidate item ids per evaluation user.
+
+        Scored through the ranker's vectorized ``score_batch`` in
+        user chunks: chunking is row-wise, so results are bit-identical
+        to one monolithic call while the intermediate score matrix stays
+        memory-bounded at 10⁵+ eval users.
+        """
+        top = np.empty((len(self.eval_users), self.top_k), dtype=np.int64)
+        for block in batch_slices(len(self.eval_users),
+                                  _RECOMMEND_CHUNK_USERS):
+            scores = self.ranker.score_batch(self.eval_users[block],
+                                             self.candidates[block])
+            picked = np.argpartition(-scores, self.top_k - 1,
+                                     axis=1)[:, :self.top_k]
+            top[block] = np.take_along_axis(self.candidates[block], picked,
+                                            axis=1)
+        return top
 
     @pure
     def recnum(self) -> int:

@@ -1,0 +1,252 @@
+"""Sparse CSR substrate tests: row-API equivalence, caching, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (DatasetSpec, InteractionLog, SparseInteractions,
+                        as_sparse, generate_log, sparse_view)
+
+SPEC = DatasetSpec(name="tiny", num_users=30, num_items=50, num_samples=300,
+                   num_clusters=4)
+
+
+def make_log(seed: int = 0) -> InteractionLog:
+    return generate_log(SPEC, seed=seed)
+
+
+def assert_view_matches_log(view: SparseInteractions,
+                            log: InteractionLog) -> None:
+    """The CSR snapshot agrees with the row-object API on every read."""
+    assert view.num_users == log.num_users
+    assert view.num_interactions == log.num_interactions
+    assert view.users.tolist() == log.users
+    for user in log.users:
+        assert view.sequence(user) == log.sequence(user)
+        assert user in view
+    assert dict(view.iter_sequences()) == dict(log.iter_sequences())
+    expected_pairs = sorted(
+        (u, i) for u, seq in log.iter_sequences() for i in seq)
+    assert sorted(map(tuple, view.pairs().tolist())) == expected_pairs
+    counts = np.zeros(log.num_items, dtype=np.int64)
+    for _, seq in log.iter_sequences():
+        for item in seq:
+            counts[item] += 1
+    assert np.array_equal(view.item_counts(), counts)
+
+
+class TestFromLog:
+    def test_matches_row_api(self):
+        log = make_log()
+        assert_view_matches_log(SparseInteractions.from_log(log), log)
+
+    def test_csr_slices_are_sequences(self):
+        log = make_log()
+        view = SparseInteractions.from_log(log)
+        for i, user in enumerate(view.users):
+            row = view.item_ids[view.user_ptr[i]:view.user_ptr[i + 1]]
+            assert row.tolist() == log.sequence(int(user))
+
+    def test_empty_log(self):
+        view = SparseInteractions.from_log(InteractionLog(10))
+        assert view.num_users == 0
+        assert view.num_interactions == 0
+        assert view.pairs().shape == (0, 2)
+        assert view.item_counts().tolist() == [0] * 10
+
+    def test_lengths_align_with_users(self):
+        log = make_log()
+        view = SparseInteractions.from_log(log)
+        assert view.lengths.tolist() == [len(log.sequence(int(u)))
+                                         for u in view.users]
+
+
+class TestBulkReads:
+    def test_consecutive_pairs_match_serial(self):
+        log = make_log()
+        view = sparse_view(log)
+        expected = [(seq[i], seq[i + 1]) for _, seq in log.iter_sequences()
+                    for i in range(len(seq) - 1)]
+        prev, nxt = view.consecutive_pairs()
+        assert sorted(zip(prev.tolist(), nxt.tolist())) == sorted(expected)
+
+    def test_last_n_windows(self):
+        log = make_log()
+        view = sparse_view(log)
+        windows, mask = view.last_n(4, pad=-1)
+        assert windows.shape == (view.num_users, 4)
+        for i, user in enumerate(view.users):
+            tail = log.sequence(int(user))[-4:]
+            padded = [-1] * (4 - len(tail)) + tail
+            assert windows[i].tolist() == padded
+            assert mask[i].tolist() == [False] * (4 - len(tail)) + \
+                [True] * len(tail)
+
+    def test_last_n_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sparse_view(make_log()).last_n(0)
+
+    def test_sorted_pair_keys_membership(self):
+        log = make_log()
+        view = sparse_view(log)
+        keys = view.sorted_pair_keys()
+        assert np.all(np.diff(keys) >= 0)
+        clicked = {(u, i) for u, seq in log.iter_sequences() for i in seq}
+        for user in log.users:
+            for item in (0, 7, 23, 49):
+                key = user * log.num_items + item
+                pos = np.searchsorted(keys, key)
+                found = pos < keys.size and keys[pos] == key
+                assert found == ((user, item) in clicked)
+
+    def test_implicit_dense_matches_row_build(self):
+        log = make_log()
+        dense = sparse_view(log).to_implicit_dense()
+        expected = np.zeros_like(dense)
+        for user, seq in log.iter_sequences():
+            expected[user, seq] = 1.0
+        assert np.array_equal(dense, expected)
+
+    def test_implicit_csr_equals_dense(self):
+        log = make_log()
+        view = sparse_view(log)
+        assert np.array_equal(view.to_implicit_csr().toarray(),
+                              view.to_implicit_dense())
+
+    def test_implicit_matrix_user_cap(self):
+        log = make_log()
+        view = sparse_view(log)
+        capped = view.to_implicit_dense(num_users=5)
+        assert capped.shape == (5, log.num_items)
+        assert np.array_equal(capped, view.to_implicit_dense()[:5])
+        assert np.array_equal(view.to_implicit_csr(num_users=5).toarray(),
+                              capped)
+
+
+class TestCache:
+    def test_view_is_reused_until_mutation(self):
+        log = make_log()
+        assert sparse_view(log) is sparse_view(log)
+
+    def test_mutators_invalidate(self):
+        log = make_log()
+        before = sparse_view(log)
+        log.add(0, 3)
+        after = sparse_view(log)
+        assert after is not before
+        assert after.num_interactions == before.num_interactions + 1
+
+    def test_splice_and_unsplice_invalidate(self):
+        log = make_log()
+        poison = InteractionLog(log.num_items)
+        poison.add_sequence(10_000, [1, 2, 3])
+        v0 = sparse_view(log)
+        log.splice(poison)
+        v1 = sparse_view(log)
+        assert v1 is not v0 and 10_000 in v1
+        log.unsplice(poison)
+        v2 = sparse_view(log)
+        assert v2 is not v1 and 10_000 not in v2
+        assert_view_matches_log(v2, log)
+
+    def test_views_are_frozen_snapshots(self):
+        log = make_log()
+        before = sparse_view(log)
+        nnz = before.num_interactions
+        log.add(0, 1)
+        assert before.num_interactions == nnz  # old snapshot untouched
+
+    def test_version_counter_bumps(self):
+        log = InteractionLog(10)
+        v = log._version
+        log.add(0, 1)
+        assert log._version == v + 1
+        log.add_sequence(1, [2, 3])
+        assert log._version > v + 1
+
+    def test_log_delegations_use_view(self):
+        log = make_log()
+        view = sparse_view(log)
+        assert np.array_equal(log.pairs(), view.pairs())
+        assert np.array_equal(log.item_counts(), view.item_counts())
+        assert np.array_equal(log.to_implicit_matrix(),
+                              view.to_implicit_dense())
+
+    def test_as_sparse_passthrough(self):
+        log = make_log()
+        view = sparse_view(log)
+        assert as_sparse(view) is view
+        assert as_sparse(log) is view
+
+
+class TestFromArrays:
+    def test_roundtrip(self):
+        log = make_log()
+        ref = SparseInteractions.from_log(log)
+        view = SparseInteractions.from_arrays(log.num_items, ref.users,
+                                              ref.user_ptr, ref.item_ids)
+        assert_view_matches_log(view, log)
+
+    @pytest.mark.parametrize("mutation", [
+        "bad_ptr_len", "ptr_not_zero", "ptr_wrong_end", "ptr_decreasing",
+        "users_unsorted", "users_negative", "item_out_of_range", "not_1d",
+    ])
+    def test_validation_rejects(self, mutation):
+        users = np.array([0, 1, 2])
+        ptr = np.array([0, 2, 3, 5])
+        items = np.array([1, 2, 0, 3, 1])
+        kwargs = dict(num_items=5, users=users, user_ptr=ptr, item_ids=items)
+        if mutation == "bad_ptr_len":
+            kwargs["user_ptr"] = ptr[:-1]
+        elif mutation == "ptr_not_zero":
+            kwargs["user_ptr"] = np.array([1, 2, 3, 5])
+        elif mutation == "ptr_wrong_end":
+            kwargs["user_ptr"] = np.array([0, 2, 3, 6])
+        elif mutation == "ptr_decreasing":
+            kwargs["user_ptr"] = np.array([0, 3, 2, 5])
+        elif mutation == "users_unsorted":
+            kwargs["users"] = np.array([0, 2, 1])
+        elif mutation == "users_negative":
+            kwargs["users"] = np.array([-1, 1, 2])
+        elif mutation == "item_out_of_range":
+            kwargs["item_ids"] = np.array([1, 2, 0, 5, 1])
+        elif mutation == "not_1d":
+            kwargs["item_ids"] = items.reshape(1, -1)
+        with pytest.raises(ValueError):
+            SparseInteractions.from_arrays(**kwargs)
+
+
+class TestPropertyInterleavings:
+    """Views agree with the row API after arbitrary mutation interleavings."""
+
+    def test_random_add_splice_unsplice(self):
+        rng = np.random.default_rng(42)
+        log = make_log(seed=1)
+        active: list[InteractionLog] = []
+        next_user = 50_000
+        for step in range(120):
+            op = rng.integers(0, 3)
+            if op == 0:
+                # Mutate base users only: spliced sequences are shared by
+                # reference and must stay frozen while attached.
+                base_users = [u for u in log.users if u < 50_000]
+                log.add(int(rng.choice(base_users)),
+                        int(rng.integers(0, log.num_items)))
+            elif op == 1:
+                poison = InteractionLog(log.num_items)
+                for _ in range(int(rng.integers(1, 4))):
+                    poison.add_sequence(
+                        next_user,
+                        rng.integers(0, log.num_items,
+                                     size=int(rng.integers(1, 6))).tolist())
+                    next_user += 1
+                log.splice(poison)
+                active.append(poison)
+            elif op == 2 and active:
+                log.unsplice(active.pop(int(rng.integers(0, len(active)))))
+            if step % 10 == 0:
+                assert_view_matches_log(sparse_view(log), log)
+        for poison in active:
+            log.unsplice(poison)
+        assert_view_matches_log(sparse_view(log), log)

@@ -6,6 +6,7 @@ import pytest
 from repro.data import Dataset, InteractionLog
 from repro.recsys import (ItemPop, RankingQuality, evaluate_ranking,
                           make_ranker, random_baseline_quality)
+from repro.recsys.evaluation import sample_eval_negatives
 
 
 def block_dataset(num_users=30, num_items=24, seed=0):
@@ -77,3 +78,50 @@ def test_random_baseline_formula():
     ds = block_dataset()
     assert random_baseline_quality(ds, k=10, num_negatives=50) == pytest.approx(
         10 / 51)
+
+
+class TestSampleEvalNegatives:
+    """The batched rejection sampler behind evaluate_ranking."""
+
+    def setup_method(self):
+        self.ds = block_dataset()
+        self.users = np.fromiter(self.ds.test.keys(), dtype=np.int64)
+        self.positives = np.fromiter(
+            (self.ds.test[int(u)] for u in self.users), dtype=np.int64)
+
+    def draw(self, seed):
+        return sample_eval_negatives(np.random.default_rng(seed),
+                                     self.ds.train, self.users,
+                                     self.positives, self.ds.num_items, 20)
+
+    def test_seeded_determinism(self):
+        assert np.array_equal(self.draw(11), self.draw(11))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(self.draw(11), self.draw(12))
+
+    def test_negatives_avoid_clicked_and_positive(self):
+        negatives = self.draw(0)
+        for i, user in enumerate(self.users):
+            clicked = set(self.ds.train.sequence(int(user)))
+            clicked.add(int(self.positives[i]))
+            assert not set(negatives[i].tolist()) & clicked
+
+    def test_nonconvergence_raises(self):
+        # One user clicked the entire universe: no negative exists.
+        train = InteractionLog(6)
+        train.add_sequence(0, [0, 1, 2, 3, 4])
+        with pytest.raises(ValueError, match="did not converge"):
+            sample_eval_negatives(np.random.default_rng(0), train,
+                                  np.array([0]), np.array([5]), 6, 4,
+                                  max_rounds=8)
+
+    def test_evaluate_ranking_seeded_regression(self):
+        """Same seed, same metrics — across calls and ranker refits."""
+        ranker = make_ranker("itempop", self.ds.num_users, self.ds.num_items,
+                             seed=0)
+        ranker.fit(self.ds.train)
+        first = evaluate_ranking(ranker, self.ds, seed=3)
+        ranker.fit(self.ds.train)
+        second = evaluate_ranking(ranker, self.ds, seed=3)
+        assert (first.hit_rate, first.ndcg) == (second.hit_rate, second.ndcg)
